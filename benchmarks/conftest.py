@@ -1,0 +1,30 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one artifact of the paper's evaluation section (a
+table or a figure).  The default profile is ``smoke`` so the whole harness
+finishes in minutes; set ``REPRO_BENCH_PROFILE=default`` (all 40 functions)
+or ``full`` (the paper's n_start=500) for a long run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import PROFILES
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "paper_artifact(name): bench regenerating a paper artifact")
+
+
+@pytest.fixture(scope="session")
+def profile():
+    name = os.environ.get("REPRO_BENCH_PROFILE", "smoke")
+    return PROFILES[name]
+
+
+@pytest.fixture(scope="session")
+def bench_report_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("paper_artifacts")

@@ -1,0 +1,47 @@
+"""Bench for Figure 2: local versus MCMC/basin-hopping global optimization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure2 import (
+    FIGURE2B_MINIMA,
+    figure2a_objective,
+    figure2b_objective,
+)
+from repro.optimize.basinhopping import basinhopping
+from repro.optimize.local import powell
+
+
+@pytest.mark.paper_artifact("figure2a")
+def test_figure2a_local_optimization(benchmark):
+    """Fig. 2(a): the local method alone reaches the flat global minimum."""
+    result = benchmark(powell, figure2a_objective, np.array([8.0]))
+    assert result.fun == 0.0
+    assert result.x[0] <= 1.0 + 1e-9
+
+
+@pytest.mark.paper_artifact("figure2b")
+def test_figure2b_global_optimization(benchmark):
+    """Fig. 2(b): Monte-Carlo moves escape the local basin (p0 -> ... -> p5)."""
+
+    def run():
+        return basinhopping(
+            figure2b_objective,
+            np.array([6.0]),
+            n_iter=25,
+            step_size=2.0,
+            rng=np.random.default_rng(0),
+        )
+
+    result = benchmark(run)
+    assert result.fun == pytest.approx(0.0, abs=1e-6)
+    assert min(abs(result.x[0] - m) for m in FIGURE2B_MINIMA) < 1e-2
+
+
+@pytest.mark.paper_artifact("figure2b")
+def test_figure2b_local_only_gets_trapped(benchmark):
+    """Contrast: Powell alone from x=6 stays in the right-hand basin (x*=2)."""
+    result = benchmark(powell, figure2b_objective, np.array([6.0]))
+    assert abs(result.x[0] - 2.0) < 1e-2

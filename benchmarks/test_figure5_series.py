@@ -1,0 +1,27 @@
+"""Bench for Figure 5: the per-benchmark branch-coverage series (bar chart data)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure5, table2
+
+
+@pytest.mark.paper_artifact("figure5")
+def test_figure5_series(benchmark, profile, capsys):
+    rows = benchmark.pedantic(table2.run, args=(profile,), iterations=1, rounds=1)
+    series = figure5.series_from_rows(rows)
+
+    with capsys.disabled():
+        print()
+        print(figure5.render_ascii(series))
+
+    tools = {s.tool for s in series}
+    assert tools == {"Rand", "AFL", "CoverMe"}
+    labels = series[0].labels
+    assert all(s.labels == labels for s in series)
+    coverme = next(s for s in series if s.tool == "CoverMe")
+    rand = next(s for s in series if s.tool == "Rand")
+    assert all(0.0 <= v <= 100.0 for v in coverme.values)
+    # The CoverMe bars dominate the Rand bars overall (the figure's visual message).
+    assert sum(coverme.values) > sum(rand.values)

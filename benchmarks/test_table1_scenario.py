@@ -1,0 +1,24 @@
+"""Bench for Table 1: the saturation scenario on the example program FOO."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table1
+
+
+@pytest.mark.paper_artifact("table1")
+def test_table1_saturation_scenario(benchmark):
+    steps = benchmark(table1.run, n_start=40, seed=0)
+    final = steps[-1]
+    assert len(final.saturated) == 4  # all four branches of FOO saturated
+    # The paper's scenario takes 4 rounds; any trajectory needs at least 2
+    # inputs because no single input can cover both arms of l0.
+    assert len(final.inputs_so_far) >= 2
+
+
+@pytest.mark.paper_artifact("table1")
+def test_table1_row1_representing_function_is_zero(benchmark):
+    """Row 1 of Table 1: before anything is saturated, FOO_R == 0 everywhere."""
+    values = benchmark(table1.representing_function_values, [-5.2, -3.0, 0.7, 1.0, 1.1, 2.0])
+    assert all(v == 0.0 for v in values)

@@ -1,0 +1,39 @@
+"""Bench for Table 3: CoverMe versus the Austin-style search-based tester."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table3
+from repro.experiments.runner import format_table
+
+
+@pytest.mark.paper_artifact("table3")
+def test_table3_coverme_vs_austin(benchmark, profile, capsys):
+    rows = benchmark.pedantic(table3.run, args=(profile,), iterations=1, rounds=1)
+    summary = table3.summarize(rows)
+
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                rows,
+                table3.TOOLS,
+                paper_column=lambda case: (
+                    case.paper.austin_branch if case.paper.austin_branch is not None else float("nan")
+                ),
+                title=f"[Table 3] profile={profile.name} (paper column = Austin %)",
+            )
+        )
+        print(
+            f"[Table 3] means: Austin {summary['austin_branch']:.1f}% in {summary['austin_time']:.1f}s | "
+            f"CoverMe {summary['coverme_branch']:.1f}% in {summary['coverme_time']:.1f}s  "
+            f"(paper: 42.8% / 6058.4s vs 90.8% / 6.9s)"
+        )
+
+    # Shape of the paper's Table 3: CoverMe achieves at least the coverage of
+    # Austin-style per-branch search, at no greater cost.  (The paper's +48.9
+    # point gap needs the default/full profiles; at smoke budgets the AVM
+    # baseline is competitive on the low-arity functions of the smoke slice.)
+    assert summary["coverme_branch"] >= summary["austin_branch"] - 10.0
+    assert summary["coverme_branch"] >= 50.0

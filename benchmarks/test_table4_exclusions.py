@@ -1,0 +1,28 @@
+"""Bench for Table 4: the excluded Fdlibm functions and their reasons."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table4
+from repro.fdlibm.excluded import EXCLUDED
+from repro.fdlibm.suite import BENCHMARKS
+
+
+@pytest.mark.paper_artifact("table4")
+def test_table4_exclusion_registry(benchmark, capsys):
+    groups = benchmark(table4.run)
+
+    with capsys.disabled():
+        print()
+        print("[Table 4] excluded Fdlibm functions by reason:")
+        for reason, items in sorted(groups.items()):
+            print(f"  {reason:<26s}: {len(items)}")
+
+    assert sum(len(items) for items in groups.values()) == len(EXCLUDED) == 52
+    # The paper's accounting: 92 functions total, 40 kept, 36 no-branch,
+    # 11 unsupported inputs, 5 static.
+    assert len(BENCHMARKS) == 40
+    assert len(groups["no branch"]) == 36
+    assert len(groups["unsupported input type"]) == 11
+    assert len(groups["static C function"]) == 5

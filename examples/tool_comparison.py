@@ -1,0 +1,45 @@
+"""Compare CoverMe, Rand, AFL and Austin on a slice of the Fdlibm suite.
+
+Run with::
+
+    python examples/tool_comparison.py [n_cases]
+
+This is a miniature of the paper's Tables 2 and 3: every tool runs on the
+first ``n_cases`` benchmark functions (default 5) and the per-function branch
+coverage is printed side by side with the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.baselines.afl import AFLFuzzer
+from repro.baselines.austin import AustinTester
+from repro.baselines.random_testing import RandomTester
+from repro.experiments.runner import PROFILES, compare_tools, coverme_tool
+from repro.fdlibm.suite import BENCHMARKS
+
+
+def main() -> None:
+    n_cases = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    profile = PROFILES["smoke"]
+    cases = BENCHMARKS[:n_cases]
+    factories = {
+        "CoverMe": lambda p: coverme_tool(p),
+        "Rand": lambda p: RandomTester(seed=1),
+        "AFL": lambda p: AFLFuzzer(seed=2),
+        "Austin": lambda p: AustinTester(seed=3),
+    }
+    rows = compare_tools(factories, profile, cases=cases)
+    tools = ("Rand", "AFL", "Austin", "CoverMe")
+    print(f"{'Function':<34s}{'#Br':>5s}" + "".join(f"{t:>10s}" for t in tools) + f"{'Paper':>10s}")
+    for row in rows:
+        line = f"{row.case.function:<34s}{row.n_branches:>5d}"
+        for tool in tools:
+            line += f"{row.coverage(tool):>10.1f}"
+        line += f"{row.case.paper.coverme_branch:>10.1f}"
+        print(line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The project is configured through ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` keeps working on environments whose setuptools/wheel
+combination cannot perform PEP 660 editable installs (e.g. offline machines
+without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

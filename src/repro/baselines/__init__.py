@@ -1,0 +1,25 @@
+"""Baseline testing tools the paper compares against (Sect. 6.1).
+
+* :mod:`repro.baselines.random_testing` -- "Rand", pure random testing.
+* :mod:`repro.baselines.afl` -- an AFL-style coverage-guided greybox fuzzer
+  (byte-level mutations over the raw IEEE-754 representation of the inputs).
+* :mod:`repro.baselines.austin` -- an Austin-style search-based tester using
+  the alternating variable method with approach-level + branch-distance
+  fitness, one search per uncovered branch.
+* :mod:`repro.baselines.harness` -- the shared tool-runner interface and
+  budget accounting used by the experiment harnesses.
+"""
+
+from repro.baselines.afl import AFLFuzzer
+from repro.baselines.austin import AustinTester
+from repro.baselines.harness import Budget, TestingTool, run_tool
+from repro.baselines.random_testing import RandomTester
+
+__all__ = [
+    "AFLFuzzer",
+    "AustinTester",
+    "Budget",
+    "RandomTester",
+    "TestingTool",
+    "run_tool",
+]

@@ -1,0 +1,155 @@
+"""An Austin-style search-based tester (Lakhotia et al., used in Table 3).
+
+Austin combines symbolic execution with search-based heuristics; its search
+core is Korel's *alternating variable method* (AVM).  This reimplementation
+keeps the structural characteristics that shape the paper's Table 3:
+
+* the tool works **per target branch**: it iterates over uncovered branches
+  and runs a fresh search for each one, which is why its runtime grows so much
+  faster than CoverMe's single-objective minimization;
+* the fitness of an input w.r.t. a target branch is the classic
+  ``approach level + normalized branch distance``, computed from the same
+  execution records the instrumentation produces;
+* AVM performs exploratory moves (+-delta on one variable at a time) followed
+  by geometrically accelerated pattern moves while the fitness improves, and
+  restarts from a random point on stagnation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.harness import Budget
+from repro.instrument.program import InstrumentedProgram
+from repro.instrument.runtime import BranchId, Runtime
+
+
+def _normalize(distance: float) -> float:
+    """Standard SBST normalization mapping [0, inf) to [0, 1)."""
+    return distance / (distance + 1.0)
+
+
+@dataclass
+class AustinTester:
+    """Alternating-variable-method search, one search per uncovered branch."""
+
+    seed: Optional[int] = None
+    exploratory_step: float = 0.1
+    max_pattern_doublings: int = 40
+    restarts_per_target: int = 2
+    executions_per_target: int = 250
+    name: str = "Austin"
+
+    def generate(self, program: InstrumentedProgram, budget: Budget) -> list[tuple[float, ...]]:
+        rng = np.random.default_rng(self.seed)
+        clock = budget.start()
+        covered: set[BranchId] = set()
+        kept: list[tuple[float, ...]] = []
+
+        def execute(args: tuple[float, ...]):
+            runtime = Runtime(policy=None)
+            _, _, record = program.run(args, runtime=runtime)
+            clock.consume()
+            new = record.covered - covered
+            if new:
+                covered.update(record.covered)
+                kept.append(args)
+            return record
+
+        # Seed with a handful of simple inputs, as Austin does with default values.
+        for seed_value in (0.0, 1.0, -1.0):
+            if clock.exhausted():
+                break
+            execute(tuple([seed_value] * program.arity))
+
+        for target in sorted(program.all_branches):
+            if clock.exhausted():
+                break
+            if target in covered:
+                continue
+            self._search_target(program, target, covered, execute, rng, clock)
+        return kept
+
+    # -- per-target AVM search ------------------------------------------------------
+
+    def _fitness(self, program: InstrumentedProgram, record, target: BranchId) -> float:
+        """Approach level plus normalized branch distance towards ``target``."""
+        if target in record.covered:
+            return 0.0
+        executed = {outcome.conditional: outcome for outcome in record.path}
+        if target.conditional in executed:
+            outcome = executed[target.conditional]
+            distance = (
+                outcome.distance_true if target.outcome else outcome.distance_false
+            )
+            return _normalize(distance if distance is not None else 1.0)
+        # The target conditional was not even reached: approach level is the
+        # number of executed conditionals that could still lead to it, counted
+        # from the point of divergence, plus the distance at that divergence.
+        approach = 1.0
+        best = None
+        for outcome in reversed(record.path):
+            reachable = program.descendants.descendant_conditionals(
+                BranchId(outcome.conditional, not outcome.outcome)
+            )
+            if target.conditional in reachable:
+                distance = (
+                    outcome.distance_false if outcome.outcome else outcome.distance_true
+                )
+                best = _normalize(distance if distance is not None else 1.0)
+                break
+            approach += 1.0
+        if best is None:
+            best = 1.0
+        return approach + best
+
+    def _search_target(self, program, target, covered, execute, rng, clock) -> None:
+        for restart in range(self.restarts_per_target):
+            if clock.exhausted() or target in covered:
+                return
+            if restart == 0:
+                point = np.zeros(program.arity)
+            else:
+                point = rng.uniform(-1.0e3, 1.0e3, size=program.arity)
+            budget_left = self.executions_per_target
+            record = execute(tuple(point))
+            budget_left -= 1
+            fitness = self._fitness(program, record, target)
+            improved = True
+            while improved and budget_left > 0 and not clock.exhausted():
+                if target in covered:
+                    return
+                improved = False
+                for variable in range(program.arity):
+                    for direction in (+1.0, -1.0):
+                        if budget_left <= 0 or clock.exhausted():
+                            return
+                        step = self.exploratory_step
+                        candidate = point.copy()
+                        candidate[variable] += direction * step
+                        record = execute(tuple(candidate))
+                        budget_left -= 1
+                        candidate_fitness = self._fitness(program, record, target)
+                        if candidate_fitness < fitness:
+                            # Pattern moves: keep doubling while improving.
+                            point, fitness = candidate, candidate_fitness
+                            improved = True
+                            for _ in range(self.max_pattern_doublings):
+                                if budget_left <= 0 or clock.exhausted() or fitness == 0.0:
+                                    break
+                                step *= 2.0
+                                candidate = point.copy()
+                                candidate[variable] += direction * step
+                                record = execute(tuple(candidate))
+                                budget_left -= 1
+                                candidate_fitness = self._fitness(program, record, target)
+                                if candidate_fitness < fitness:
+                                    point, fitness = candidate, candidate_fitness
+                                else:
+                                    break
+                            break
+                    if improved:
+                        break

@@ -1,0 +1,102 @@
+"""Shared infrastructure for running testing tools under a budget.
+
+The paper gives Rand and AFL ten times CoverMe's wall-clock time (Sect. 6.1).
+Wall-clock comparisons are noisy in a pure-Python reproduction, so the budget
+is expressed both as a wall-clock limit and as a limit on the number of
+program executions; whichever is hit first stops the tool.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Protocol, Sequence
+
+from repro.coverage.branch import BranchCoverage
+from repro.core.report import ToolRunSummary
+from repro.instrument.program import InstrumentedProgram
+
+
+@dataclass
+class Budget:
+    """Execution budget for one tool run."""
+
+    max_executions: Optional[int] = None
+    max_seconds: Optional[float] = None
+
+    def start(self) -> "BudgetClock":
+        return BudgetClock(self)
+
+
+@dataclass
+class BudgetClock:
+    """Tracks consumption of a :class:`Budget`."""
+
+    budget: Budget
+    executions: int = 0
+    started_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.started_at = time.perf_counter()
+
+    def consume(self, executions: int = 1) -> None:
+        self.executions += executions
+
+    @property
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.started_at
+
+    def exhausted(self) -> bool:
+        if self.budget.max_executions is not None and self.executions >= self.budget.max_executions:
+            return True
+        if self.budget.max_seconds is not None and self.elapsed >= self.budget.max_seconds:
+            return True
+        return False
+
+
+class TestingTool(Protocol):
+    """Interface every baseline tool (and the CoverMe adapter) implements."""
+
+    name: str
+
+    def generate(
+        self, program: InstrumentedProgram, budget: Budget
+    ) -> list[tuple[float, ...]]:
+        """Produce test inputs for ``program`` within ``budget``."""
+        ...  # pragma: no cover - protocol
+
+
+def run_tool(
+    tool: TestingTool,
+    program: InstrumentedProgram,
+    budget: Budget,
+    original: Optional[Callable] = None,
+) -> ToolRunSummary:
+    """Run ``tool`` on ``program`` and measure the coverage of its inputs."""
+    started = time.perf_counter()
+    inputs = tool.generate(program, budget)
+    elapsed = time.perf_counter() - started
+    coverage = BranchCoverage(program)
+    coverage.run_all(inputs)
+    summary = ToolRunSummary(
+        tool=tool.name,
+        program=program.name,
+        n_branches=coverage.n_branches,
+        covered_branches=coverage.n_covered,
+        wall_time=elapsed,
+        executions=coverage.executions,
+        inputs=list(inputs),
+    )
+    if original is not None:
+        from repro.coverage.line import LineCoverage
+
+        lines = LineCoverage(original)
+        lines.run_all(inputs)
+        summary.n_lines = lines.n_lines
+        summary.covered_lines = lines.n_covered
+    return summary
+
+
+def clip_inputs(inputs: Sequence[Sequence[float]], limit: int) -> list[tuple[float, ...]]:
+    """Keep at most ``limit`` inputs (used to bound replay costs)."""
+    return [tuple(float(v) for v in item) for item in list(inputs)[:limit]]

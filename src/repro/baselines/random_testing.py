@@ -1,0 +1,42 @@
+""""Rand": pure random testing baseline (Sect. 6.1).
+
+Inputs are drawn uniformly from a bounded box.  Like the tool the paper
+implemented with a pseudo-random number generator, Rand has no feedback: it
+keeps every input that increased branch coverage and discards the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.harness import Budget
+from repro.coverage.branch import BranchCoverage
+from repro.instrument.program import InstrumentedProgram
+
+
+@dataclass
+class RandomTester:
+    """Uniform random input generation with coverage-based retention."""
+
+    low: float = -1.0e6
+    high: float = 1.0e6
+    seed: Optional[int] = None
+    name: str = "Rand"
+
+    def generate(self, program: InstrumentedProgram, budget: Budget) -> list[tuple[float, ...]]:
+        rng = np.random.default_rng(self.seed)
+        clock = budget.start()
+        coverage = BranchCoverage(program)
+        kept: list[tuple[float, ...]] = []
+        while not clock.exhausted():
+            args = tuple(float(v) for v in rng.uniform(self.low, self.high, size=program.arity))
+            new = coverage.run(args)
+            clock.consume()
+            if new:
+                kept.append(args)
+            if coverage.is_complete():
+                break
+        return kept

@@ -1,0 +1,34 @@
+"""CoverMe core: the paper's primary contribution.
+
+Modules:
+
+* :mod:`repro.core.branch_distance` -- Def. 4.1 branch distances.
+* :mod:`repro.core.pen` -- Def. 4.2 penalty function over the saturation set.
+* :mod:`repro.core.saturation` -- Def. 3.2 saturation tracking.
+* :mod:`repro.core.representing` -- the representing function ``FOO_R``.
+* :mod:`repro.core.coverme` -- Algorithm 1 driver.
+* :mod:`repro.core.config` / :mod:`repro.core.report` -- configuration and
+  result records.
+"""
+
+from repro.core.branch_distance import DEFAULT_EPSILON, branch_distance, negate_op
+from repro.core.config import CoverMeConfig
+from repro.core.coverme import CoverMe, CoverMeResult
+from repro.core.pen import CoverMePenalty
+from repro.core.report import CoverageReport, MinimizationTrace
+from repro.core.representing import RepresentingFunction
+from repro.core.saturation import SaturationTracker
+
+__all__ = [
+    "DEFAULT_EPSILON",
+    "CoverMe",
+    "CoverMeConfig",
+    "CoverMePenalty",
+    "CoverMeResult",
+    "CoverageReport",
+    "MinimizationTrace",
+    "RepresentingFunction",
+    "SaturationTracker",
+    "branch_distance",
+    "negate_op",
+]

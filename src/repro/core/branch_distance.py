@@ -1,0 +1,92 @@
+"""Branch distances (Def. 4.1 of the paper).
+
+The branch distance ``d_eps(op, a, b)`` quantifies how far the operands
+``a`` and ``b`` are from satisfying ``a op b``:
+
+* ``d(==, a, b) = (a - b)^2``
+* ``d(<=, a, b) = 0`` if ``a <= b`` else ``(a - b)^2``
+* ``d(<,  a, b) = 0`` if ``a < b``  else ``(a - b)^2 + eps``
+* ``d(!=, a, b) = 0`` if ``a != b`` else ``eps``
+* ``d(>=, a, b) = d(<=, b, a)`` and ``d(>, a, b) = d(<, b, a)``
+
+The key property (Eq. 8) is ``d(op, a, b) >= 0`` and
+``d(op, a, b) == 0  iff  a op b`` -- it is what makes the representing
+function's zeros coincide with branch-saturating inputs (Thm. 4.3).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Default value of the small positive constant ``eps`` of Def. 4.1.  The
+#: paper describes it as "a small positive floating-point close to machine
+#: epsilon".
+DEFAULT_EPSILON: float = 2.0 ** -42
+
+_NEGATIONS = {
+    "==": "!=",
+    "!=": "==",
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+}
+
+
+def negate_op(op: str) -> str:
+    """Return the logical negation of a comparison operator (``op`` bar)."""
+    try:
+        return _NEGATIONS[op]
+    except KeyError:
+        raise ValueError(f"unsupported comparison operator {op!r}") from None
+
+
+def _squared_gap(a: float, b: float) -> float:
+    """``(a - b)^2`` guarded against overflow to keep the objective finite."""
+    gap = a - b
+    if math.isinf(gap):
+        return 1.0e300
+    sq = gap * gap
+    if math.isinf(sq):
+        return 1.0e300
+    return sq
+
+
+def branch_distance(op: str, a: float, b: float, epsilon: float = DEFAULT_EPSILON) -> float:
+    """Branch distance ``d_eps(op, a, b)`` of Def. 4.1.
+
+    Args:
+        op: One of ``==  !=  <  <=  >  >=``.
+        a: Left operand.
+        b: Right operand.
+        epsilon: The small positive constant used for strict comparisons and
+            disequality.
+
+    Returns:
+        A non-negative float that is zero exactly when ``a op b`` holds.
+    """
+    if epsilon <= 0.0:
+        raise ValueError("epsilon must be strictly positive")
+    if op == "==":
+        return _squared_gap(a, b)
+    if op == "<=":
+        return 0.0 if a <= b else _squared_gap(a, b)
+    if op == "<":
+        return 0.0 if a < b else _squared_gap(a, b) + epsilon
+    if op == "!=":
+        return 0.0 if a != b else epsilon
+    if op == ">=":
+        return branch_distance("<=", b, a, epsilon)
+    if op == ">":
+        return branch_distance("<", b, a, epsilon)
+    raise ValueError(f"unsupported comparison operator {op!r}")
+
+
+def distance_pair(
+    op: str, a: float, b: float, epsilon: float = DEFAULT_EPSILON
+) -> tuple[float, float]:
+    """Distances towards the true branch and the false branch of ``a op b``."""
+    return (
+        branch_distance(op, a, b, epsilon),
+        branch_distance(negate_op(op), a, b, epsilon),
+    )

@@ -1,0 +1,78 @@
+"""Configuration for the CoverMe driver (the inputs of Algorithm 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.branch_distance import DEFAULT_EPSILON
+
+
+@dataclass
+class CoverMeConfig:
+    """Parameters of Algorithm 1 plus implementation knobs.
+
+    Attributes:
+        n_start: Number of random starting points (``n_start`` in Algorithm 1).
+            The paper's evaluation uses 500; the default here is smaller so a
+            typical laptop run finishes quickly, and the experiments' "full"
+            profile restores the paper's value.
+        n_iter: Number of Monte-Carlo iterations per basin-hopping run
+            (``n_iter`` in Algorithm 1; the paper uses 5).
+        local_minimizer: Name of the local optimization algorithm ``LM``
+            ("powell", "nelder-mead", "compass"); the paper uses Powell.
+        backend: Which basin-hopping implementation drives Step 3:
+            ``"builtin"`` (our MCMC implementation of Algorithm 1 lines 24-34)
+            or ``"scipy"`` (the paper's off-the-shelf SciPy Basinhopping).
+        epsilon: The small positive constant of Def. 4.1.
+        step_size: Scale of the Monte-Carlo perturbation ``delta``.
+        temperature: Metropolis annealing temperature ``T`` (the paper uses 1).
+        start_scale: Standard deviation of the random starting points.
+        seed: Seed for all pseudo-randomness (None for nondeterministic runs).
+        mark_infeasible: Enable the infeasible-branch heuristic of Sect. 5.3.
+        zero_tolerance: Threshold below which ``FOO_R(x*)`` counts as zero.
+            Exact zeros are produced by construction, so 0.0 is faithful; a
+            tiny positive tolerance guards against backend round-off.
+        max_evaluations: Optional cap on representing-function evaluations.
+        time_budget: Optional wall-clock cap in seconds.
+    """
+
+    n_start: int = 100
+    n_iter: int = 5
+    local_minimizer: str = "powell"
+    backend: str = "builtin"
+    epsilon: float = DEFAULT_EPSILON
+    step_size: float = 1.0
+    temperature: float = 1.0
+    start_scale: float = 10.0
+    seed: Optional[int] = None
+    mark_infeasible: bool = True
+    zero_tolerance: float = 0.0
+    max_evaluations: Optional[int] = None
+    time_budget: Optional[float] = None
+    local_max_iterations: int = 40
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_start < 1:
+            raise ValueError("n_start must be >= 1")
+        if self.n_iter < 0:
+            raise ValueError("n_iter must be >= 0")
+        if self.epsilon <= 0:
+            raise ValueError("epsilon must be > 0")
+        if self.backend not in ("builtin", "scipy"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+
+    @classmethod
+    def paper(cls, **overrides) -> "CoverMeConfig":
+        """The exact parameter settings of the paper's evaluation (Sect. 6.1)."""
+        defaults = dict(n_start=500, n_iter=5, local_minimizer="powell")
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def smoke(cls, **overrides) -> "CoverMeConfig":
+        """A fast profile for unit tests and CI."""
+        defaults = dict(n_start=30, n_iter=3, local_minimizer="powell", seed=0)
+        defaults.update(overrides)
+        return cls(**defaults)

@@ -1,0 +1,87 @@
+"""Result records produced by the CoverMe driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.instrument.runtime import BranchId
+
+
+@dataclass
+class MinimizationTrace:
+    """Outcome of one basin-hopping launch (one iteration of Algorithm 1's loop)."""
+
+    start: tuple[float, ...]
+    minimum_point: tuple[float, ...]
+    minimum_value: float
+    accepted: bool
+    newly_covered: frozenset[BranchId] = frozenset()
+    marked_infeasible: Optional[BranchId] = None
+    evaluations: int = 0
+
+
+@dataclass
+class CoverageReport:
+    """Branch (and optionally line) coverage summary in Gcov-like percentages."""
+
+    name: str
+    n_branches: int
+    covered_branches: int
+    n_lines: int = 0
+    covered_lines: int = 0
+
+    @property
+    def branch_percent(self) -> float:
+        if self.n_branches == 0:
+            return 100.0
+        return 100.0 * self.covered_branches / self.n_branches
+
+    @property
+    def line_percent(self) -> float:
+        if self.n_lines == 0:
+            return 100.0
+        return 100.0 * self.covered_lines / self.n_lines
+
+    def merged_with(self, other: "CoverageReport") -> "CoverageReport":
+        """Combine two reports of the same program (used when pooling tools)."""
+        if other.name != self.name:
+            raise ValueError("cannot merge coverage reports of different programs")
+        return CoverageReport(
+            name=self.name,
+            n_branches=max(self.n_branches, other.n_branches),
+            covered_branches=max(self.covered_branches, other.covered_branches),
+            n_lines=max(self.n_lines, other.n_lines),
+            covered_lines=max(self.covered_lines, other.covered_lines),
+        )
+
+
+@dataclass
+class ToolRunSummary:
+    """Aggregate statistics of one testing-tool run on one program.
+
+    Shared by CoverMe and the baseline tools so the experiment harnesses can
+    tabulate them uniformly (Tables 2, 3 and 5).
+    """
+
+    tool: str
+    program: str
+    n_branches: int
+    covered_branches: int
+    wall_time: float
+    executions: int
+    inputs: list[tuple[float, ...]] = field(default_factory=list)
+    n_lines: int = 0
+    covered_lines: int = 0
+
+    @property
+    def branch_coverage_percent(self) -> float:
+        if self.n_branches == 0:
+            return 100.0
+        return 100.0 * self.covered_branches / self.n_branches
+
+    @property
+    def line_coverage_percent(self) -> float:
+        if self.n_lines == 0:
+            return 0.0
+        return 100.0 * self.covered_lines / self.n_lines

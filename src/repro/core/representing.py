@@ -1,0 +1,83 @@
+"""The representing function ``FOO_R`` (Sect. 3.2, Step 2; Thm. 4.3).
+
+``FOO_R(x)`` initializes the injected register ``r`` to 1, executes the
+instrumented program on ``x`` and returns the final value of ``r``.  With the
+``pen`` policy of Def. 4.2 installed, the two key conditions hold:
+
+* **C1**: ``FOO_R(x) >= 0`` for all ``x`` -- ``r`` is only ever assigned
+  branch distances (non-negative), zero, or its previous value starting at 1.
+* **C2**: ``FOO_R(x) == 0`` iff ``x`` saturates a branch not yet saturated
+  (Thm. 4.3).
+
+The object is a plain callable ``R^n -> R`` so that any unconstrained
+programming backend can minimize it as a black box.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.branch_distance import DEFAULT_EPSILON
+from repro.core.pen import CoverMePenalty
+from repro.core.saturation import SaturationTracker
+from repro.instrument.program import InstrumentedProgram
+from repro.instrument.runtime import ExecutionRecord, Runtime
+
+
+class RepresentingFunction:
+    """Callable wrapper computing ``FOO_R`` for an instrumented program."""
+
+    def __init__(
+        self,
+        program: InstrumentedProgram,
+        tracker: Optional[SaturationTracker] = None,
+        epsilon: float = DEFAULT_EPSILON,
+    ):
+        self.program = program
+        self.tracker = tracker if tracker is not None else SaturationTracker(program)
+        self.epsilon = epsilon
+        self._runtime = Runtime(policy=CoverMePenalty(self.tracker, epsilon), epsilon=epsilon)
+        self.evaluations = 0
+        self.last_record: Optional[ExecutionRecord] = None
+        self.last_value: Optional[float] = None
+
+    @property
+    def arity(self) -> int:
+        return self.program.arity
+
+    def __call__(self, x) -> float:
+        """Evaluate ``FOO_R`` at ``x`` (a scalar or a length-``arity`` vector)."""
+        args = self._coerce(x)
+        self.evaluations += 1
+        _, r, record = self.program.run(args, runtime=self._runtime)
+        self.last_record = record
+        if math.isnan(r):
+            r = 1.0e300
+        self.last_value = r
+        return r
+
+    def evaluate_with_record(self, x) -> tuple[float, ExecutionRecord]:
+        """Evaluate and also return the execution record (used by the driver)."""
+        value = self(x)
+        assert self.last_record is not None
+        return value, self.last_record
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _coerce(self, x) -> tuple[float, ...]:
+        if isinstance(x, (int, float)) and not isinstance(x, bool):
+            values = [float(x)]
+        elif isinstance(x, np.ndarray):
+            values = [float(v) for v in np.atleast_1d(x).ravel()]
+        elif isinstance(x, Sequence):
+            values = [float(v) for v in x]
+        else:
+            values = [float(x)]
+        if len(values) != self.program.arity:
+            raise ValueError(
+                f"{self.program.name} expects {self.program.arity} inputs, got {len(values)}"
+            )
+        return tuple(values)

@@ -1,0 +1,14 @@
+"""Coverage measurement substrate (the reproduction's Gcov).
+
+* :mod:`repro.coverage.branch` -- branch coverage over instrumented programs
+  (two branches per conditional, exactly like Gcov's branch summary).
+* :mod:`repro.coverage.line` -- line coverage of the original, uninstrumented
+  function using a tracing hook.
+* :mod:`repro.coverage.gcov` -- combined reports in Gcov-like percentages.
+"""
+
+from repro.coverage.branch import BranchCoverage
+from repro.coverage.gcov import GcovReport, measure_coverage
+from repro.coverage.line import LineCoverage
+
+__all__ = ["BranchCoverage", "GcovReport", "LineCoverage", "measure_coverage"]

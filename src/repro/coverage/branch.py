@@ -1,0 +1,61 @@
+"""Branch coverage measurement for instrumented programs.
+
+The tracker replays test inputs through the instrumented program with a plain
+coverage runtime (no penalty policy) and accumulates the branches taken.  The
+denominator is Gcov's convention of two branches per conditional statement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.instrument.program import InstrumentedProgram
+from repro.instrument.runtime import BranchId, Runtime
+
+
+@dataclass
+class BranchCoverage:
+    """Accumulates branch coverage of one instrumented program."""
+
+    program: InstrumentedProgram
+    covered: set[BranchId] = field(default_factory=set)
+    executions: int = 0
+
+    def run(self, args: Sequence[float]) -> set[BranchId]:
+        """Execute the program on ``args`` and record the branches taken.
+
+        Returns the set of branches newly covered by this execution.
+        """
+        runtime = Runtime(policy=None)
+        _, _, record = self.program.run(args, runtime=runtime)
+        self.executions += 1
+        new = record.covered - self.covered
+        self.covered |= record.covered
+        return new
+
+    def run_all(self, inputs: Iterable[Sequence[float]]) -> None:
+        """Replay a whole test suite (the set ``X`` of generated inputs)."""
+        for args in inputs:
+            self.run(args)
+
+    @property
+    def n_branches(self) -> int:
+        return self.program.n_branches
+
+    @property
+    def n_covered(self) -> int:
+        return len(self.covered & self.program.all_branches)
+
+    @property
+    def percent(self) -> float:
+        """Branch coverage percentage, Gcov style."""
+        if self.n_branches == 0:
+            return 100.0
+        return 100.0 * self.n_covered / self.n_branches
+
+    def uncovered(self) -> frozenset[BranchId]:
+        return frozenset(self.program.all_branches - self.covered)
+
+    def is_complete(self) -> bool:
+        return self.n_covered >= self.n_branches

@@ -1,0 +1,73 @@
+"""Combined Gcov-like coverage reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.coverage.branch import BranchCoverage
+from repro.coverage.line import LineCoverage
+from repro.instrument.program import InstrumentedProgram
+
+
+@dataclass(frozen=True)
+class GcovReport:
+    """Branch + line coverage percentages for one program and one test suite."""
+
+    program: str
+    n_branches: int
+    covered_branches: int
+    n_lines: int
+    covered_lines: int
+    executions: int
+
+    @property
+    def branch_percent(self) -> float:
+        if self.n_branches == 0:
+            return 100.0
+        return 100.0 * self.covered_branches / self.n_branches
+
+    @property
+    def line_percent(self) -> float:
+        if self.n_lines == 0:
+            return 100.0
+        return 100.0 * self.covered_lines / self.n_lines
+
+    def format_row(self) -> str:
+        return (
+            f"{self.program:<28s} branches {self.covered_branches:>3d}/{self.n_branches:<3d} "
+            f"({self.branch_percent:5.1f}%)  lines {self.covered_lines:>3d}/{self.n_lines:<3d} "
+            f"({self.line_percent:5.1f}%)"
+        )
+
+
+def measure_coverage(
+    program: InstrumentedProgram,
+    inputs: Iterable[Sequence[float]],
+    original: Optional[Callable] = None,
+) -> GcovReport:
+    """Replay ``inputs`` and report branch (and optionally line) coverage.
+
+    Args:
+        program: The instrumented program under test.
+        inputs: The generated test inputs (the set ``X``).
+        original: The original uninstrumented callable; when provided, line
+            coverage is measured on it as well.
+    """
+    inputs = list(inputs)
+    branches = BranchCoverage(program)
+    branches.run_all(inputs)
+    n_lines = covered_lines = 0
+    if original is not None:
+        lines = LineCoverage(original)
+        lines.run_all(inputs)
+        n_lines = lines.n_lines
+        covered_lines = lines.n_covered
+    return GcovReport(
+        program=program.name,
+        n_branches=branches.n_branches,
+        covered_branches=branches.n_covered,
+        n_lines=n_lines,
+        covered_lines=covered_lines,
+        executions=branches.executions,
+    )

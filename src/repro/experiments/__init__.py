@@ -1,0 +1,36 @@
+"""Experiment harnesses regenerating the paper's tables and figures.
+
+Every artifact of the evaluation section has a module here and a bench in
+``benchmarks/``:
+
+* Table 1  -- :mod:`repro.experiments.table1` (saturation scenario walkthrough)
+* Figure 2 -- :mod:`repro.experiments.figure2` (local vs global optimization)
+* Table 2 / Figure 5 -- :mod:`repro.experiments.table2`,
+  :mod:`repro.experiments.figure5` (CoverMe vs Rand vs AFL branch coverage)
+* Table 3  -- :mod:`repro.experiments.table3` (CoverMe vs Austin)
+* Table 4  -- :mod:`repro.experiments.table4` (excluded functions)
+* Table 5  -- :mod:`repro.experiments.table5` (line coverage)
+
+Each module exposes a ``run(profile)`` function returning structured rows plus
+a ``main()`` entry point that prints the table, so e.g.
+``python -m repro.experiments.table2 --profile smoke`` regenerates the
+artifact from the command line.
+"""
+
+from repro.experiments.runner import (
+    ComparisonRow,
+    Profile,
+    PROFILES,
+    compare_tools,
+    coverme_tool,
+    format_table,
+)
+
+__all__ = [
+    "ComparisonRow",
+    "PROFILES",
+    "Profile",
+    "compare_tools",
+    "coverme_tool",
+    "format_table",
+]

@@ -1,0 +1,209 @@
+"""Shared experiment infrastructure: profiles, tool adapters, table formatting."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.baselines.harness import Budget, run_tool
+from repro.core.config import CoverMeConfig
+from repro.core.coverme import CoverMe
+from repro.core.report import ToolRunSummary
+from repro.coverage.line import LineCoverage
+from repro.fdlibm.suite import BENCHMARKS, BenchmarkCase
+from repro.instrument.program import InstrumentedProgram, instrument
+from repro.instrument.signature import ProgramSignature
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Size of an experiment run.
+
+    ``smoke`` keeps the whole harness in CI-friendly time; ``default`` covers
+    every benchmark with moderate budgets; ``full`` restores the paper's
+    ``n_start = 500`` and the 10x budget for the baseline tools.
+    """
+
+    name: str
+    n_start: int
+    n_iter: int
+    max_cases: Optional[int]
+    coverme_time_budget: Optional[float]
+    baseline_execution_factor: int
+    baseline_min_executions: int
+    seed: int = 0
+
+    def coverme_config(self) -> CoverMeConfig:
+        return CoverMeConfig(
+            n_start=self.n_start,
+            n_iter=self.n_iter,
+            local_minimizer="powell",
+            seed=self.seed,
+            time_budget=self.coverme_time_budget,
+        )
+
+
+PROFILES: dict[str, Profile] = {
+    "smoke": Profile(
+        name="smoke",
+        n_start=40,
+        n_iter=5,
+        max_cases=5,
+        coverme_time_budget=4.0,
+        baseline_execution_factor=3,
+        baseline_min_executions=1500,
+    ),
+    "default": Profile(
+        name="default",
+        n_start=40,
+        n_iter=5,
+        max_cases=None,
+        coverme_time_budget=6.0,
+        baseline_execution_factor=10,
+        baseline_min_executions=5000,
+    ),
+    "full": Profile(
+        name="full",
+        n_start=500,
+        n_iter=5,
+        max_cases=None,
+        coverme_time_budget=None,
+        baseline_execution_factor=10,
+        baseline_min_executions=20000,
+    ),
+}
+
+
+@dataclass
+class ComparisonRow:
+    """One benchmark function's results across all compared tools."""
+
+    case: BenchmarkCase
+    n_branches: int
+    results: dict[str, ToolRunSummary] = field(default_factory=dict)
+
+    def coverage(self, tool: str) -> float:
+        return self.results[tool].branch_coverage_percent if tool in self.results else float("nan")
+
+    def time(self, tool: str) -> float:
+        return self.results[tool].wall_time if tool in self.results else float("nan")
+
+
+@dataclass
+class CoverMeTool:
+    """Adapter presenting CoverMe through the common tool interface."""
+
+    config: CoverMeConfig
+    name: str = "CoverMe"
+    last_evaluations: int = 0
+
+    def generate(self, program: InstrumentedProgram, budget: Budget):
+        config = self.config
+        if budget.max_seconds is not None:
+            config = CoverMeConfig(
+                **{**config.__dict__, "time_budget": budget.max_seconds}
+            )
+        result = CoverMe(program, config).run()
+        self.last_evaluations = result.evaluations
+        return result.inputs
+
+
+def coverme_tool(profile: Profile) -> CoverMeTool:
+    return CoverMeTool(config=profile.coverme_config())
+
+
+def instrument_case(case: BenchmarkCase) -> InstrumentedProgram:
+    """Instrument a benchmark case with a signature describing its input box."""
+    signature = ProgramSignature(
+        name=case.function,
+        arity=case.arity,
+        low=tuple([-1.0e6] * case.arity),
+        high=tuple([1.0e6] * case.arity),
+    )
+    return instrument(case.entry, signature=signature)
+
+
+def compare_tools(
+    tool_factories: dict[str, Callable[[Profile], object]],
+    profile: Profile,
+    cases: Optional[Iterable[BenchmarkCase]] = None,
+    measure_lines: bool = False,
+) -> list[ComparisonRow]:
+    """Run every tool on every benchmark case and collect per-row results.
+
+    ``CoverMe`` (when present) runs first so the baselines can be given a
+    budget proportional to its effort, mirroring the paper's "ten times the
+    CoverMe time" rule with an execution-count analogue.
+    """
+    selected = list(cases) if cases is not None else list(BENCHMARKS)
+    if profile.max_cases is not None:
+        selected = selected[: profile.max_cases]
+
+    rows: list[ComparisonRow] = []
+    for case in selected:
+        program = instrument_case(case)
+        row = ComparisonRow(case=case, n_branches=program.n_branches)
+        coverme_effort = profile.baseline_min_executions
+        ordered = sorted(tool_factories.items(), key=lambda item: item[0] != "CoverMe")
+        for tool_name, factory in ordered:
+            tool = factory(profile)
+            if tool_name == "CoverMe":
+                budget = Budget(max_seconds=profile.coverme_time_budget)
+            else:
+                budget = Budget(
+                    max_executions=max(
+                        profile.baseline_min_executions,
+                        profile.baseline_execution_factor * coverme_effort,
+                    ),
+                    max_seconds=(
+                        profile.coverme_time_budget * profile.baseline_execution_factor
+                        if profile.coverme_time_budget is not None
+                        else None
+                    ),
+                )
+            summary = run_tool(tool, program, budget, original=case.entry if measure_lines else None)
+            if tool_name == "CoverMe" and isinstance(tool, CoverMeTool):
+                coverme_effort = max(tool.last_evaluations, profile.baseline_min_executions)
+            row.results[tool_name] = summary
+        rows.append(row)
+    return rows
+
+
+def mean(values: Sequence[float]) -> float:
+    values = [v for v in values if v == v]  # drop NaN
+    return sum(values) / len(values) if values else float("nan")
+
+
+def format_table(
+    rows: list[ComparisonRow],
+    tools: Sequence[str],
+    paper_column: Optional[Callable[[BenchmarkCase], float]] = None,
+    title: str = "",
+) -> str:
+    """Render rows as a fixed-width text table (one line per benchmark)."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'File':<16s}{'Function':<34s}{'#Br':>5s}" + "".join(
+        f"{tool + ' %':>12s}" for tool in tools
+    )
+    if paper_column is not None:
+        header += f"{'Paper %':>12s}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        line = f"{row.case.file:<16s}{row.case.function:<34s}{row.n_branches:>5d}"
+        for tool in tools:
+            line += f"{row.coverage(tool):>12.1f}"
+        if paper_column is not None:
+            line += f"{paper_column(row.case):>12.1f}"
+        lines.append(line)
+    lines.append("-" * len(header))
+    means = f"{'MEAN':<16s}{'':<34s}{'':>5s}"
+    for tool in tools:
+        means += f"{mean([row.coverage(tool) for row in rows]):>12.1f}"
+    if paper_column is not None:
+        means += f"{mean([paper_column(row.case) for row in rows]):>12.1f}"
+    lines.append(means)
+    return "\n".join(lines)

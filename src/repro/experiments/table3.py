@@ -1,0 +1,73 @@
+"""Table 3: CoverMe versus Austin (branch coverage and wall time)."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.baselines.austin import AustinTester
+from repro.experiments.runner import (
+    PROFILES,
+    ComparisonRow,
+    Profile,
+    compare_tools,
+    coverme_tool,
+    format_table,
+    mean,
+)
+
+TOOLS = ("Austin", "CoverMe")
+
+
+def tool_factories(seed: int = 0):
+    return {
+        "CoverMe": lambda profile: coverme_tool(profile),
+        "Austin": lambda profile: AustinTester(seed=profile.seed + 3),
+    }
+
+
+def run(profile: Profile, cases=None) -> list[ComparisonRow]:
+    return compare_tools(tool_factories(profile.seed), profile, cases=cases)
+
+
+def summarize(rows: list[ComparisonRow]) -> dict[str, float]:
+    """Mean coverage, mean times, and the speed-up column of Table 3."""
+    summary = {
+        "austin_branch": mean([row.coverage("Austin") for row in rows]),
+        "coverme_branch": mean([row.coverage("CoverMe") for row in rows]),
+        "austin_time": mean([row.time("Austin") for row in rows]),
+        "coverme_time": mean([row.time("CoverMe") for row in rows]),
+    }
+    summary["coverage_improvement"] = summary["coverme_branch"] - summary["austin_branch"]
+    if summary["coverme_time"] > 0:
+        summary["speedup"] = summary["austin_time"] / summary["coverme_time"]
+    else:
+        summary["speedup"] = float("inf")
+    return summary
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", choices=sorted(PROFILES), default="smoke")
+    args = parser.parse_args()
+    profile = PROFILES[args.profile]
+    rows = run(profile)
+    print(
+        format_table(
+            rows,
+            TOOLS,
+            paper_column=lambda case: (
+                case.paper.austin_branch if case.paper.austin_branch is not None else float("nan")
+            ),
+            title=f"Table 3 reproduction (profile={profile.name}); paper column = Austin branch %",
+        )
+    )
+    summary = summarize(rows)
+    print(
+        f"\nMeans: Austin {summary['austin_branch']:.1f}% in {summary['austin_time']:.1f}s, "
+        f"CoverMe {summary['coverme_branch']:.1f}% in {summary['coverme_time']:.1f}s "
+        f"(paper: 42.8% / 6058.4s vs 90.8% / 6.9s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Table 4: the Fdlibm functions excluded from the evaluation, with reasons."""
+
+from __future__ import annotations
+
+from repro.fdlibm.excluded import EXCLUDED, excluded_by_reason
+
+
+def run():
+    """Return the exclusion registry grouped by reason."""
+    return excluded_by_reason()
+
+
+def main() -> None:
+    print("Table 4 reproduction: untested Fdlibm programs")
+    print(f"{'File':<18s}{'Function':<56s}{'Reason'}")
+    for item in EXCLUDED:
+        print(f"{item.file:<18s}{item.function:<56s}{item.reason}")
+    groups = excluded_by_reason()
+    print("\nSummary:")
+    for reason, items in sorted(groups.items()):
+        print(f"  {reason}: {len(items)} functions")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Table 5: line coverage of CoverMe versus Rand and AFL."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.runner import PROFILES, ComparisonRow, Profile, mean
+from repro.experiments.table2 import run as run_table2
+
+TOOLS = ("Rand", "AFL", "CoverMe")
+
+
+def run(profile: Profile, cases=None) -> list[ComparisonRow]:
+    """Same tool runs as Table 2 but with line-coverage measurement enabled."""
+    return run_table2(profile, cases=cases, measure_lines=True)
+
+
+def line_percent(row: ComparisonRow, tool: str) -> float:
+    summary = row.results.get(tool)
+    if summary is None or summary.n_lines == 0:
+        return float("nan")
+    return summary.line_coverage_percent
+
+
+def summarize(rows: list[ComparisonRow]) -> dict[str, float]:
+    return {tool: mean([line_percent(row, tool) for row in rows]) for tool in TOOLS}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", choices=sorted(PROFILES), default="smoke")
+    args = parser.parse_args()
+    profile = PROFILES[args.profile]
+    rows = run(profile)
+    print(f"Table 5 reproduction (profile={profile.name}): line coverage (%)")
+    header = f"{'File':<16s}{'Function':<34s}" + "".join(f"{t:>10s}" for t in TOOLS) + f"{'Paper':>10s}"
+    print(header)
+    for row in rows:
+        line = f"{row.case.file:<16s}{row.case.function:<34s}"
+        for tool in TOOLS:
+            line += f"{line_percent(row, tool):>10.1f}"
+        paper = row.case.paper.coverme_line
+        line += f"{paper if paper is not None else float('nan'):>10.1f}"
+        print(line)
+    summary = summarize(rows)
+    print(
+        f"\nMeans: Rand {summary['Rand']:.1f}%  AFL {summary['AFL']:.1f}%  CoverMe {summary['CoverMe']:.1f}% "
+        f"(paper: 54.2 / 87.0 / 97.0)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Port of Fdlibm 5.3 ``e_acos.c``: ``__ieee754_acos``."""
+
+from __future__ import annotations
+
+from repro.fdlibm.bits import high_word, low_word, set_low_word
+from repro.fdlibm.e_sqrt import ieee754_sqrt
+
+ONE = 1.0
+PI = 3.14159265358979311600e00
+PIO2_HI = 1.57079632679489655800e00
+PIO2_LO = 6.12323399573676603587e-17
+PS0 = 1.66666666666666657415e-01
+PS1 = -3.25565818622400915405e-01
+PS2 = 2.01212532134862925881e-01
+PS3 = -4.00555345006794114027e-02
+PS4 = 7.91534994289814532176e-04
+PS5 = 3.47933107596021167570e-05
+QS1 = -2.40339491173441421878e00
+QS2 = 2.02094576023350569471e00
+QS3 = -6.88283971605453293030e-01
+QS4 = 7.70381505559019352791e-02
+
+
+def _rational(z: float) -> float:
+    p = z * (PS0 + z * (PS1 + z * (PS2 + z * (PS3 + z * (PS4 + z * PS5)))))
+    q = ONE + z * (QS1 + z * (QS2 + z * (QS3 + z * QS4)))
+    return p / q
+
+
+def ieee754_acos(x: float) -> float:
+    """``__ieee754_acos(x)``: arc cosine on ``[-1, 1]``."""
+    hx = high_word(x)
+    ix = hx & 0x7FFFFFFF
+    if ix >= 0x3FF00000:  # |x| >= 1
+        if ((ix - 0x3FF00000) | low_word(x)) == 0:  # |x| == 1
+            if hx > 0:
+                return 0.0  # acos(1) = 0
+            return PI + 2.0 * PIO2_LO  # acos(-1) = pi
+        return float("nan")  # acos(|x| > 1) is NaN
+    if ix < 0x3FE00000:  # |x| < 0.5
+        if ix <= 0x3C600000:  # |x| < 2**-57
+            return PIO2_HI + PIO2_LO
+        z = x * x
+        r = _rational(z)
+        return PIO2_HI - (x - (PIO2_LO - x * r))
+    if hx < 0:  # x < -0.5
+        z = (ONE + x) * 0.5
+        s = ieee754_sqrt(z)
+        r = _rational(z)
+        w = r * s - PIO2_LO
+        return PI - 2.0 * (s + w)
+    # x > 0.5
+    z = (ONE - x) * 0.5
+    s = ieee754_sqrt(z)
+    df = set_low_word(s, 0)
+    c = (z - df * df) / (s + df)
+    r = _rational(z)
+    w = r * s + c
+    return 2.0 * (df + w)

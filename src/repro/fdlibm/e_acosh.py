@@ -1,0 +1,30 @@
+"""Port of Fdlibm 5.3 ``e_acosh.c``: ``__ieee754_acosh``."""
+
+from __future__ import annotations
+
+from repro.fdlibm.bits import high_word, low_word
+from repro.fdlibm.e_log import ieee754_log
+from repro.fdlibm.e_sqrt import ieee754_sqrt
+from repro.fdlibm.s_log1p import fdlibm_log1p
+
+ONE = 1.0
+LN2 = 6.93147180559945286227e-01
+
+
+def ieee754_acosh(x: float) -> float:
+    """``__ieee754_acosh(x)``: inverse hyperbolic cosine on ``[1, inf)``."""
+    hx = high_word(x)
+    if hx < 0x3FF00000:  # x < 1
+        return float("nan")
+    if hx >= 0x41B00000:  # x > 2**28
+        if hx >= 0x7FF00000:  # x is inf or NaN
+            return x + x
+        return ieee754_log(x) + LN2  # acosh(huge) = log(2x)
+    if ((hx - 0x3FF00000) | low_word(x)) == 0:
+        return 0.0  # acosh(1) = 0
+    if hx > 0x40000000:  # 2**28 > x > 2
+        t = x * x
+        return ieee754_log(2.0 * x - ONE / (x + ieee754_sqrt(t - ONE)))
+    # 1 < x < 2
+    t = x - ONE
+    return fdlibm_log1p(t + ieee754_sqrt(2.0 * t + t * t))

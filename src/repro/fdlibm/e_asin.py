@@ -1,0 +1,62 @@
+"""Port of Fdlibm 5.3 ``e_asin.c``: ``__ieee754_asin``."""
+
+from __future__ import annotations
+
+from repro.fdlibm.bits import fabs, high_word, low_word, set_low_word
+from repro.fdlibm.e_sqrt import ieee754_sqrt
+
+ONE = 1.0
+HUGE = 1.0e300
+PIO2_HI = 1.57079632679489655800e00
+PIO2_LO = 6.12323399573676603587e-17
+PIO4_HI = 7.85398163397448278999e-01
+PS0 = 1.66666666666666657415e-01
+PS1 = -3.25565818622400915405e-01
+PS2 = 2.01212532134862925881e-01
+PS3 = -4.00555345006794114027e-02
+PS4 = 7.91534994289814532176e-04
+PS5 = 3.47933107596021167570e-05
+QS1 = -2.40339491173441421878e00
+QS2 = 2.02094576023350569471e00
+QS3 = -6.88283971605453293030e-01
+QS4 = 7.70381505559019352791e-02
+
+
+def _rational(t: float) -> float:
+    p = t * (PS0 + t * (PS1 + t * (PS2 + t * (PS3 + t * (PS4 + t * PS5)))))
+    q = ONE + t * (QS1 + t * (QS2 + t * (QS3 + t * QS4)))
+    return p / q
+
+
+def ieee754_asin(x: float) -> float:
+    """``__ieee754_asin(x)``: arc sine on ``[-1, 1]``."""
+    hx = high_word(x)
+    ix = hx & 0x7FFFFFFF
+    if ix >= 0x3FF00000:  # |x| >= 1
+        if ((ix - 0x3FF00000) | low_word(x)) == 0:
+            return x * PIO2_HI + x * PIO2_LO  # asin(+-1) = +-pi/2
+        return float("nan")  # asin(|x| > 1) is NaN
+    if ix < 0x3FE00000:  # |x| < 0.5
+        if ix < 0x3E400000:  # |x| < 2**-27
+            if HUGE + x > ONE:  # return x with inexact if x != 0
+                return x
+        t = x * x
+        w = _rational(t)
+        return x + x * w
+    # 1 > |x| >= 0.5
+    w = ONE - fabs(x)
+    t = w * 0.5
+    s = ieee754_sqrt(t)
+    if ix >= 0x3FEF3333:  # |x| > 0.975
+        w = _rational(t)
+        t = PIO2_HI - (2.0 * (s + s * w) - PIO2_LO)
+    else:
+        w = set_low_word(s, 0)
+        c = (t - w * w) / (s + w)
+        r = _rational(t)
+        p = 2.0 * s * r - (PIO2_LO - 2.0 * c)
+        q = PIO4_HI - 2.0 * w
+        t = PIO4_HI - (p - q)
+    if hx > 0:
+        return t
+    return -t

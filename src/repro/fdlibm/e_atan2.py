@@ -1,0 +1,87 @@
+"""Port of Fdlibm 5.3 ``e_atan2.c``: ``__ieee754_atan2(y, x)``.
+
+The C original dispatches on ``m = 2*sign(x) + sign(y)`` with ``switch``
+statements; the port writes those out as ``if``/``elif`` ladders, which is
+what Gcov's branch counting effectively sees as well.
+"""
+
+from __future__ import annotations
+
+from repro.fdlibm.bits import fabs, high_word, low_word, set_high_word
+from repro.fdlibm.s_atan import fdlibm_atan
+
+TINY = 1.0e-300
+ZERO = 0.0
+PI_O_4 = 7.8539816339744827900e-01
+PI_O_2 = 1.5707963267948965580e00
+PI = 3.1415926535897931160e00
+PI_LO = 1.2246467991473531772e-16
+
+
+def ieee754_atan2(y: float, x: float) -> float:
+    """``__ieee754_atan2(y, x)``: signed angle of the point ``(x, y)``."""
+    hx = high_word(x)
+    ix = hx & 0x7FFFFFFF
+    lx = low_word(x)
+    hy = high_word(y)
+    iy = hy & 0x7FFFFFFF
+    ly = low_word(y)
+    if (ix | (1 if lx != 0 else 0)) > 0x7FF00000 or (
+        iy | (1 if ly != 0 else 0)
+    ) > 0x7FF00000:  # x or y is NaN
+        return x + y
+    if ((hx - 0x3FF00000) | lx) == 0:  # x = 1.0
+        return fdlibm_atan(y)
+    m = ((hy >> 31) & 1) | ((hx >> 30) & 2)  # 2*sign(x) + sign(y)
+
+    # When y = 0.
+    if (iy | ly) == 0:
+        if m == 0 or m == 1:
+            return y  # atan(+-0, +anything) = +-0
+        if m == 2:
+            return PI + TINY  # atan(+0, -anything) = pi
+        return -PI - TINY  # atan(-0, -anything) = -pi
+    # When x = 0.
+    if (ix | lx) == 0:
+        if hy < 0:
+            return -PI_O_2 - TINY
+        return PI_O_2 + TINY
+    # When x is inf.
+    if ix == 0x7FF00000:
+        if iy == 0x7FF00000:
+            if m == 0:
+                return PI_O_4 + TINY  # atan(+inf, +inf)
+            if m == 1:
+                return -PI_O_4 - TINY  # atan(-inf, +inf)
+            if m == 2:
+                return 3.0 * PI_O_4 + TINY  # atan(+inf, -inf)
+            return -3.0 * PI_O_4 - TINY  # atan(-inf, -inf)
+        if m == 0:
+            return ZERO  # atan(+..., +inf)
+        if m == 1:
+            return -ZERO  # atan(-..., +inf)
+        if m == 2:
+            return PI + TINY  # atan(+..., -inf)
+        return -PI - TINY  # atan(-..., -inf)
+    # When y is inf.
+    if iy == 0x7FF00000:
+        if hy < 0:
+            return -PI_O_2 - TINY
+        return PI_O_2 + TINY
+
+    # Compute y/x.
+    k = (iy - ix) >> 20
+    if k > 60:  # |y/x| > 2**60
+        z = PI_O_2 + 0.5 * PI_LO
+    elif hx < 0 and k < -60:  # |y|/x < -2**60
+        z = 0.0
+    else:  # safe to do y/x
+        z = fdlibm_atan(fabs(y / x))
+    if m == 0:
+        return z  # atan(+, +)
+    if m == 1:
+        z = set_high_word(z, high_word(z) ^ 0x80000000)
+        return z  # atan(-, +)
+    if m == 2:
+        return PI - (z - PI_LO)  # atan(+, -)
+    return (z - PI_LO) - PI  # atan(-, -)

@@ -1,0 +1,34 @@
+"""Port of Fdlibm 5.3 ``e_atanh.c``: ``__ieee754_atanh``."""
+
+from __future__ import annotations
+
+import math
+
+from repro.fdlibm.bits import high_word, low_word, set_high_word
+from repro.fdlibm.s_log1p import fdlibm_log1p
+
+ONE = 1.0
+HUGE = 1.0e300
+ZERO = 0.0
+
+
+def ieee754_atanh(x: float) -> float:
+    """``__ieee754_atanh(x)``: inverse hyperbolic tangent on ``(-1, 1)``."""
+    hx = high_word(x)
+    lx = low_word(x)
+    ix = hx & 0x7FFFFFFF
+    if (ix | (1 if lx != 0 else 0)) > 0x3FF00000:  # |x| > 1
+        return float("nan")
+    if ix == 0x3FF00000:  # |x| == 1
+        return math.copysign(math.inf, x)
+    if ix < 0x3E300000 and (HUGE + x) > ZERO:  # |x| < 2**-28
+        return x
+    x = set_high_word(x, ix)  # x <- |x|
+    if ix < 0x3FE00000:  # |x| < 0.5
+        t = x + x
+        t = 0.5 * fdlibm_log1p(t + t * x / (ONE - x))
+    else:
+        t = 0.5 * fdlibm_log1p((x + x) / (ONE - x))
+    if hx >= 0:
+        return t
+    return -t

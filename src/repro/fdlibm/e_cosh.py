@@ -1,0 +1,36 @@
+"""Port of Fdlibm 5.3 ``e_cosh.c``: ``__ieee754_cosh``."""
+
+from __future__ import annotations
+
+from repro.fdlibm.bits import fabs, high_word, low_word
+from repro.fdlibm.e_exp import ieee754_exp
+from repro.fdlibm.s_expm1 import fdlibm_expm1
+
+ONE = 1.0
+HALF = 0.5
+HUGE = 1.0e300
+
+
+def ieee754_cosh(x: float) -> float:
+    """``__ieee754_cosh(x)`` with the original's five-interval dispatch."""
+    ix = high_word(x) & 0x7FFFFFFF
+    if ix >= 0x7FF00000:  # x is inf or NaN
+        return x * x
+    if ix < 0x3FD62E43:  # |x| in [0, 0.5*ln2]
+        t = fdlibm_expm1(fabs(x))
+        w = ONE + t
+        if ix < 0x3C800000:  # cosh(tiny) = 1
+            return w
+        return ONE + (t * t) / (w + w)
+    if ix < 0x40360000:  # |x| in [0.5*ln2, 22]
+        t = ieee754_exp(fabs(x))
+        return HALF * t + HALF / t
+    if ix < 0x40862E42:  # |x| in [22, log(DBL_MAX)]
+        return HALF * ieee754_exp(fabs(x))
+    # |x| in [log(DBL_MAX), overflow threshold].
+    lx = low_word(x)
+    if ix < 0x408633CE or (ix == 0x408633CE and lx <= 0x8FB9F87D):
+        w = ieee754_exp(HALF * fabs(x))
+        t = HALF * w
+        return t * w
+    return HUGE * HUGE  # overflow

@@ -1,0 +1,71 @@
+"""Port of Fdlibm 5.3 ``e_exp.c``: ``__ieee754_exp``."""
+
+from __future__ import annotations
+
+from repro.fdlibm.bits import high_word, low_word, set_high_word
+
+ONE = 1.0
+HALF = (0.5, -0.5)
+HUGE = 1.0e300
+TWOM1000 = 9.33263618503218878990e-302  # 2**-1000
+O_THRESHOLD = 7.09782712893383973096e02
+U_THRESHOLD = -7.45133219101941108420e02
+LN2_HI = (6.93147180369123816490e-01, -6.93147180369123816490e-01)
+LN2_LO = (1.90821492927058770002e-10, -1.90821492927058770002e-10)
+INVLN2 = 1.44269504088896338700e00
+P1 = 1.66666666666666019037e-01
+P2 = -2.77777777770155933842e-03
+P3 = 6.61375632143793436117e-05
+P4 = -1.65339022054652515390e-06
+P5 = 4.13813679705723846039e-08
+
+
+def ieee754_exp(x: float) -> float:
+    """``__ieee754_exp(x)``: exponential with argument reduction ``x = k ln2 + r``."""
+    hx = high_word(x)
+    xsb = (hx >> 31) & 1  # sign bit of x
+    hx &= 0x7FFFFFFF  # high word of |x|
+
+    # Filter out non-finite arguments.
+    if hx >= 0x40862E42:  # |x| >= 709.78...
+        if hx >= 0x7FF00000:
+            if ((hx & 0xFFFFF) | low_word(x)) != 0:
+                return x + x  # NaN
+            if xsb == 0:
+                return x  # exp(+inf) = inf
+            return 0.0  # exp(-inf) = 0
+        if x > O_THRESHOLD:
+            return HUGE * HUGE  # overflow
+        if x < U_THRESHOLD:
+            return TWOM1000 * TWOM1000  # underflow
+    # Argument reduction.
+    k = 0
+    lo = 0.0
+    hi = 0.0
+    if hx > 0x3FD62E42:  # |x| > 0.5 ln2
+        if hx < 0x3FF0A2B2:  # |x| < 1.5 ln2
+            hi = x - LN2_HI[xsb]
+            lo = LN2_LO[xsb]
+            k = 1 - xsb - xsb
+        else:
+            k = int(INVLN2 * x + HALF[xsb])
+            t = float(k)
+            hi = x - t * LN2_HI[0]
+            lo = t * LN2_LO[0]
+        x = hi - lo
+    elif hx < 0x3E300000:  # |x| < 2**-28
+        if HUGE + x > ONE:  # trigger inexact
+            return ONE + x
+    else:
+        k = 0
+    # x is now in the primary range.
+    t = x * x
+    c = x - t * (P1 + t * (P2 + t * (P3 + t * (P4 + t * P5))))
+    if k == 0:
+        return ONE - ((x * c) / (c - 2.0) - x)
+    y = ONE - ((lo - (x * c) / (2.0 - c)) - hi)
+    if k >= -1021:
+        y = set_high_word(y, high_word(y) + (k << 20))  # add k to y's exponent
+        return y
+    y = set_high_word(y, high_word(y) + ((k + 1000) << 20))
+    return y * TWOM1000

@@ -1,0 +1,146 @@
+"""Port of Fdlibm 5.3 ``e_fmod.c``: ``__ieee754_fmod(x, y)``.
+
+This is the benchmark with the most branches (Table 2: 60) and the subject of
+the second incompleteness example in Sect. D: the subnormal-input branches at
+the ``hx < 0x00100000`` / ``hy < 0x00100000`` tests require subnormal inputs
+which the optimization backend rarely produces.  The fix-point remainder loop
+relies on 32-bit wraparound, reproduced here with explicit masking.
+"""
+
+from __future__ import annotations
+
+from repro.fdlibm.bits import from_words, high_word, low_word
+
+ONE = 1.0
+ZERO = (0.0, -0.0)
+MASK32 = 0xFFFFFFFF
+
+
+def _i32(value: int) -> int:
+    """Interpret ``value`` as a signed 32-bit integer (C ``int`` semantics)."""
+    value &= MASK32
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+def ieee754_fmod(x: float, y: float) -> float:
+    """``__ieee754_fmod(x, y)``: exact floating-point remainder of x/y."""
+    hx = high_word(x)
+    lx = low_word(x)
+    hy = high_word(y)
+    ly = low_word(y)
+    sx = hx & 0x80000000  # sign of x
+    hx &= 0x7FFFFFFF  # |x| (hx ^ sx in C, which clears the sign bit)
+    hy &= 0x7FFFFFFF  # |y|
+
+    # Purge off exception values.
+    if (hy | ly) == 0 or hx >= 0x7FF00000 or (hy | (1 if ly != 0 else 0)) > 0x7FF00000:
+        return float("nan")  # fmod(x, 0), fmod(inf/NaN, y), fmod(x, NaN)
+    if hx <= hy:
+        if hx < hy or lx < ly:
+            return x  # |x| < |y|, return x
+        if lx == ly:
+            return ZERO[sx >> 31]  # |x| == |y|, return sign(x)*0
+
+    # Determine ix = ilogb(x).
+    if hx < 0x00100000:  # subnormal x
+        if hx == 0:
+            ix = -1043
+            i = _i32(lx)
+            while i > 0:
+                ix -= 1
+                i = _i32(i << 1)
+        else:
+            ix = -1022
+            i = _i32(hx << 11)
+            while i > 0:
+                ix -= 1
+                i = _i32(i << 1)
+    else:
+        ix = (hx >> 20) - 1023
+    # Determine iy = ilogb(y).
+    if hy < 0x00100000:  # subnormal y
+        if hy == 0:
+            iy = -1043
+            i = _i32(ly)
+            while i > 0:
+                iy -= 1
+                i = _i32(i << 1)
+        else:
+            iy = -1022
+            i = _i32(hy << 11)
+            while i > 0:
+                iy -= 1
+                i = _i32(i << 1)
+    else:
+        iy = (hy >> 20) - 1023
+
+    # Set up {hx,lx}, {hy,ly} and align y to x.
+    if ix >= -1022:
+        hx = 0x00100000 | (0x000FFFFF & hx)
+    else:  # subnormal x, shift x to normal
+        n = -1022 - ix
+        if n <= 31:
+            hx = ((hx << n) | (lx >> (32 - n))) & MASK32
+            lx = (lx << n) & MASK32
+        else:
+            hx = (lx << (n - 32)) & MASK32
+            lx = 0
+    if iy >= -1022:
+        hy = 0x00100000 | (0x000FFFFF & hy)
+    else:  # subnormal y, shift y to normal
+        n = -1022 - iy
+        if n <= 31:
+            hy = ((hy << n) | (ly >> (32 - n))) & MASK32
+            ly = (ly << n) & MASK32
+        else:
+            hy = (ly << (n - 32)) & MASK32
+            ly = 0
+
+    # Fix-point fmod.
+    n = ix - iy
+    while n > 0:
+        n -= 1
+        hz = _i32(hx - hy)
+        lz = (lx - ly) & MASK32
+        if lx < ly:
+            hz -= 1
+        if hz < 0:
+            hx = (hx + hx + (lx >> 31)) & MASK32
+            lx = (lx + lx) & MASK32
+        else:
+            if (hz | lz) == 0:  # return sign(x)*0
+                return ZERO[sx >> 31]
+            hx = (hz + hz + (lz >> 31)) & MASK32
+            lx = (lz + lz) & MASK32
+    hz = _i32(hx - hy)
+    lz = (lx - ly) & MASK32
+    if lx < ly:
+        hz -= 1
+    if hz >= 0:
+        hx = hz
+        lx = lz
+
+    # Convert back to floating value and restore the sign.
+    if (hx | lx) == 0:  # return sign(x)*0
+        return ZERO[sx >> 31]
+    while hx < 0x00100000:  # normalize x
+        hx = (hx + hx + (lx >> 31)) & MASK32
+        lx = (lx + lx) & MASK32
+        iy -= 1
+    if iy >= -1022:  # normalize output
+        hx = (hx - 0x00100000) | ((iy + 1023) << 20)
+        return from_words(hx | sx, lx)
+    # Subnormal output.
+    n = -1022 - iy
+    if n <= 20:
+        lx = ((lx >> n) | (hx << (32 - n))) & MASK32
+        hx >>= n
+    elif n <= 31:
+        lx = ((hx << (32 - n)) | (lx >> n)) & MASK32
+        hx = sx
+    else:
+        lx = (hx >> (n - 32)) & MASK32
+        hx = sx
+    result = from_words(hx | sx, lx)
+    result *= ONE  # create necessary signal
+    return result

@@ -1,0 +1,67 @@
+"""Port of Fdlibm 5.3 ``e_hypot.c``: ``__ieee754_hypot(x, y)``."""
+
+from __future__ import annotations
+
+from repro.fdlibm.bits import high_word, low_word, set_high_word
+from repro.fdlibm.e_sqrt import ieee754_sqrt
+
+
+def ieee754_hypot(x: float, y: float) -> float:
+    """``__ieee754_hypot(x, y)`` = sqrt(x*x + y*y) without spurious overflow."""
+    ha = high_word(x) & 0x7FFFFFFF
+    hb = high_word(y) & 0x7FFFFFFF
+    if hb > ha:
+        a, b = y, x
+        ha, hb = hb, ha
+    else:
+        a, b = x, y
+    a = set_high_word(a, ha)  # a <- |a|
+    b = set_high_word(b, hb)  # b <- |b|
+    if (ha - hb) > 0x3C00000:  # x/y > 2**60
+        return a + b
+    k = 0
+    if ha > 0x5F300000:  # a > 2**500
+        if ha >= 0x7FF00000:  # inf or NaN
+            w = a + b  # for signalling NaN
+            if ((ha & 0xFFFFF) | low_word(a)) == 0:
+                w = a
+            if ((hb ^ 0x7FF00000) | low_word(b)) == 0:
+                w = b
+            return w
+        # Scale a and b by 2**-600.
+        ha -= 0x25800000
+        hb -= 0x25800000
+        k += 600
+        a = set_high_word(a, ha)
+        b = set_high_word(b, hb)
+    if hb < 0x20B00000:  # b < 2**-500
+        if hb <= 0x000FFFFF:  # subnormal b or 0
+            if (hb | low_word(b)) == 0:
+                return a
+            t1 = set_high_word(0.0, 0x7FD00000)  # t1 = 2**1022
+            b *= t1
+            a *= t1
+            k -= 1022
+        else:  # scale a and b by 2**600
+            ha += 0x25800000
+            hb += 0x25800000
+            k -= 600
+            a = set_high_word(a, ha)
+            b = set_high_word(b, hb)
+    # Medium-size a and b.
+    w = a - b
+    if w > b:
+        t1 = set_high_word(0.0, ha)
+        t2 = a - t1
+        w = ieee754_sqrt(t1 * t1 - (b * (-b) - t2 * (a + t1)))
+    else:
+        a = a + a
+        y1 = set_high_word(0.0, hb)
+        y2 = b - y1
+        t1 = set_high_word(0.0, ha + 0x00100000)
+        t2 = a - t1
+        w = ieee754_sqrt(t1 * y1 - (w * (-w) - (t1 * y2 + t2 * b)))
+    if k != 0:
+        t1 = set_high_word(1.0, high_word(1.0) + (k << 20))
+        return t1 * w
+    return w

@@ -1,0 +1,71 @@
+"""Port of Fdlibm 5.3 ``e_log.c``: ``__ieee754_log``."""
+
+from __future__ import annotations
+
+import math
+
+from repro.fdlibm.bits import high_word, low_word, set_high_word
+
+LN2_HI = 6.93147180369123816490e-01
+LN2_LO = 1.90821492927058770002e-10
+TWO54 = 1.80143985094819840000e16
+LG1 = 6.666666666666735130e-01
+LG2 = 3.999999999940941908e-01
+LG3 = 2.857142874366239149e-01
+LG4 = 2.222219843214978396e-01
+LG5 = 1.818357216161805012e-01
+LG6 = 1.531383769920937332e-01
+LG7 = 1.479819860511658591e-01
+ZERO = 0.0
+
+
+def ieee754_log(x: float) -> float:
+    """``__ieee754_log(x)`` with the original's subnormal/exponent branches."""
+    hx = high_word(x)
+    lx = low_word(x)
+    k = 0
+    if hx < 0x00100000:  # x < 2**-1022
+        if ((hx & 0x7FFFFFFF) | lx) == 0:
+            return -TWO54 / ZERO if False else float("-inf")  # log(+-0) = -inf
+        if hx < 0:
+            return (x - x) / ZERO if False else float("nan")  # log(-#) = NaN
+        k -= 54
+        x *= TWO54  # scale up subnormal x
+        hx = high_word(x)
+    if hx >= 0x7FF00000:  # x is inf or NaN
+        return x + x
+    k += (hx >> 20) - 1023
+    hx &= 0x000FFFFF
+    i = (hx + 0x95F64) & 0x100000
+    x = set_high_word(x, hx | (i ^ 0x3FF00000))  # normalize x or x/2
+    k += i >> 20
+    f = x - 1.0
+    if (0x000FFFFF & (2 + hx)) < 3:  # |f| < 2**-20
+        if f == ZERO:
+            if k == 0:
+                return ZERO
+            dk = float(k)
+            return dk * LN2_HI + dk * LN2_LO
+        r = f * f * (0.5 - 0.33333333333333333 * f)
+        if k == 0:
+            return f - r
+        dk = float(k)
+        return dk * LN2_HI - ((r - dk * LN2_LO) - f)
+    s = f / (2.0 + f)
+    dk = float(k)
+    z = s * s
+    i = hx - 0x6147A
+    w = z * z
+    j = 0x6B851 - hx
+    t1 = w * (LG2 + w * (LG4 + w * LG6))
+    t2 = z * (LG1 + w * (LG3 + w * (LG5 + w * LG7)))
+    i |= j
+    r = t2 + t1
+    if i > 0:
+        hfsq = 0.5 * f * f
+        if k == 0:
+            return f - (hfsq - s * (hfsq + r))
+        return dk * LN2_HI - ((hfsq - (s * (hfsq + r) + dk * LN2_LO)) - f)
+    if k == 0:
+        return f - s * (f - r)
+    return dk * LN2_HI - ((s * (f - r) - dk * LN2_LO) - f)

@@ -1,0 +1,36 @@
+"""Port of Fdlibm 5.3 ``e_log10.c``: ``__ieee754_log10``."""
+
+from __future__ import annotations
+
+from repro.fdlibm.bits import high_word, low_word, set_high_word
+from repro.fdlibm.e_log import ieee754_log
+
+TWO54 = 1.80143985094819840000e16
+IVLN10 = 4.34294481903251816668e-01
+LOG10_2HI = 3.01029995663611771306e-01
+LOG10_2LO = 3.69423907715893078616e-13
+ZERO = 0.0
+
+
+def ieee754_log10(x: float) -> float:
+    """``__ieee754_log10(x)``: base-10 logarithm via ``ieee754_log``."""
+    hx = high_word(x)
+    lx = low_word(x)
+    k = 0
+    if hx < 0x00100000:  # x < 2**-1022
+        if ((hx & 0x7FFFFFFF) | lx) == 0:
+            return float("-inf")  # log10(+-0) = -inf
+        if hx < 0:
+            return float("nan")  # log10(-#) = NaN
+        k -= 54
+        x *= TWO54  # scale up subnormal x
+        hx = high_word(x)
+    if hx >= 0x7FF00000:  # x is inf or NaN
+        return x + x
+    k += (hx >> 20) - 1023
+    i = (k & 0x80000000) >> 31
+    hx = (hx & 0x000FFFFF) | ((0x3FF - i) << 20)
+    y = float(k + i)
+    x = set_high_word(x, hx)
+    z = y * LOG10_2LO + IVLN10 * ieee754_log(x)
+    return z + y * LOG10_2HI

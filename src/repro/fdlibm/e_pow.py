@@ -1,0 +1,262 @@
+"""Port of Fdlibm 5.3 ``e_pow.c``: ``__ieee754_pow(x, y)``.
+
+The benchmark with the richest special-case ladder (Table 2: 114 branches):
+integer-ness of ``y``, signed zeros, infinities, overflow/underflow of
+``y*log2(x)`` and the final ``2**(p_h+p_l)`` reconstruction.  All conditionals
+of the original are kept.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.fdlibm.bits import (
+    fabs,
+    high_word,
+    low_word,
+    set_high_word,
+    set_low_word,
+)
+from repro.fdlibm.e_sqrt import ieee754_sqrt
+
+BP = (1.0, 1.5)
+DP_H = (0.0, 5.84962487220764160156e-01)
+DP_L = (0.0, 1.35003920212974897128e-08)
+ZERO = 0.0
+ONE = 1.0
+TWO = 2.0
+TWO53 = 9007199254740992.0
+HUGE = 1.0e300
+TINY = 1.0e-300
+L1 = 5.99999999999994648725e-01
+L2 = 4.28571428578550184252e-01
+L3 = 3.33333329818377432918e-01
+L4 = 2.72728123808534006489e-01
+L5 = 2.30660745775561754067e-01
+L6 = 2.06975017800338417784e-01
+P1 = 1.66666666666666019037e-01
+P2 = -2.77777777770155933842e-03
+P3 = 6.61375632143793436117e-05
+P4 = -1.65339022054652515390e-06
+P5 = 4.13813679705723846039e-08
+LG2 = 6.93147180559945286227e-01
+LG2_H = 6.93147182464599609375e-01
+LG2_L = -1.90465429995776804525e-09
+OVT = 8.0085662595372944372e-0017
+CP = 9.61796693925975554329e-01
+CP_H = 9.61796700954437255859e-01
+CP_L = -7.02846165095275826516e-09
+IVLN2 = 1.44269504088896338700e00
+IVLN2_H = 1.44269502162933349609e00
+IVLN2_L = 1.92596299112661746887e-08
+
+
+def ieee754_pow(x: float, y: float) -> float:  # noqa: C901 - mirrors the C original
+    """``__ieee754_pow(x, y)`` with the full special-case ladder."""
+    hx = high_word(x)
+    lx = low_word(x)
+    hy = high_word(y)
+    ly = low_word(y)
+    ix = hx & 0x7FFFFFFF
+    iy = hy & 0x7FFFFFFF
+
+    # y == 0: x**0 = 1.
+    if (iy | ly) == 0:
+        return ONE
+    # +-NaN returns x + y.
+    if (
+        ix > 0x7FF00000
+        or (ix == 0x7FF00000 and lx != 0)
+        or iy > 0x7FF00000
+        or (iy == 0x7FF00000 and ly != 0)
+    ):
+        return x + y
+
+    # Determine if y is an odd integer when x < 0.
+    # yisint = 0: y not an integer; 1: odd integer; 2: even integer.
+    yisint = 0
+    if hx < 0:
+        if iy >= 0x43400000:
+            yisint = 2  # even integer y (|y| >= 2**52)
+        elif iy >= 0x3FF00000:
+            k = (iy >> 20) - 0x3FF  # exponent of y
+            if k > 20:
+                j = ly >> (52 - k)
+                if (j << (52 - k)) & 0xFFFFFFFF == ly:
+                    yisint = 2 - (j & 1)
+            elif ly == 0:
+                j = iy >> (20 - k)
+                if (j << (20 - k)) == iy:
+                    yisint = 2 - (j & 1)
+
+    # Special values of y.
+    if ly == 0:
+        if iy == 0x7FF00000:  # y is +-inf
+            if ((ix - 0x3FF00000) | lx) == 0:
+                return y - y  # (+-1)**+-inf is NaN
+            if ix >= 0x3FF00000:  # (|x| > 1)**+-inf = inf, 0
+                if hy >= 0:
+                    return y
+                return ZERO
+            if hy < 0:  # (|x| < 1)**-inf = inf
+                return -y
+            return ZERO
+        if iy == 0x3FF00000:  # y is +-1
+            if hy < 0:
+                return ONE / x
+            return x
+        if hy == 0x40000000:  # y is 2
+            return x * x
+        if hy == 0x3FE00000:  # y is 0.5
+            if hx >= 0:  # x >= +0
+                return ieee754_sqrt(x)
+
+    ax = fabs(x)
+    # Special values of x.
+    if lx == 0:
+        if ix == 0x7FF00000 or ix == 0 or ix == 0x3FF00000:
+            z = ax  # x is +-0, +-inf, +-1
+            if hy < 0:
+                z = ONE / z  # z = 1/|x|
+            if hx < 0:
+                if ((ix - 0x3FF00000) | yisint) == 0:
+                    return float("nan")  # (-1)**non-int is NaN
+                if yisint == 1:
+                    z = -z  # (x < 0)**odd = -(|x|**odd)
+            return z
+
+    n = (hx >> 31) + 1
+    # (x < 0)**(non-int) is NaN.
+    if (n | yisint) == 0:
+        return float("nan")
+    s = ONE  # sign of the result
+    if (n | (yisint - 1)) == 0:
+        s = -ONE  # (-ve)**(odd int)
+
+    # |y| is huge.
+    if iy > 0x41E00000:  # |y| > 2**31
+        if iy > 0x43F00000:  # |y| > 2**64, must over/underflow
+            if ix <= 0x3FEFFFFF:
+                if hy < 0:
+                    return HUGE * HUGE
+                return TINY * TINY
+            if ix >= 0x3FF00000:
+                if hy > 0:
+                    return HUGE * HUGE
+                return TINY * TINY
+        # Over/underflow if x is not close to one.
+        if ix < 0x3FEFFFFF:
+            if hy < 0:
+                return s * HUGE * HUGE
+            return s * TINY * TINY
+        if ix > 0x3FF00000:
+            if hy > 0:
+                return s * HUGE * HUGE
+            return s * TINY * TINY
+        # |1 - x| is tiny: compute log(x) by x - x^2/2 + x^3/3 - x^4/4.
+        t = ax - ONE
+        w = (t * t) * (0.5 - t * (0.3333333333333333333333 - t * 0.25))
+        u = IVLN2_H * t
+        v = t * IVLN2_L - w * IVLN2
+        t1 = u + v
+        t1 = set_low_word(t1, 0)
+        t2 = v - (t1 - u)
+    else:
+        n = 0
+        # Take care of subnormal numbers.
+        if ix < 0x00100000:
+            ax *= TWO53
+            n -= 53
+            ix = high_word(ax)
+        n += (ix >> 20) - 0x3FF
+        j = ix & 0x000FFFFF
+        # Determine the interval.
+        ix = j | 0x3FF00000  # normalize ix
+        if j <= 0x3988E:
+            k = 0  # |x| < sqrt(3/2)
+        elif j < 0xBB67A:
+            k = 1  # |x| < sqrt(3)
+        else:
+            k = 0
+            n += 1
+            ix -= 0x00100000
+        ax = set_high_word(ax, ix)
+        # Compute ss = s_h + s_l = (x-1)/(x+1) or (x-1.5)/(x+1.5).
+        u = ax - BP[k]
+        v = ONE / (ax + BP[k])
+        ss = u * v
+        s_h = set_low_word(ss, 0)
+        # t_h = ax + bp[k] (high part).
+        t_h = set_high_word(ZERO, ((ix >> 1) | 0x20000000) + 0x00080000 + (k << 18))
+        t_l = ax - (t_h - BP[k])
+        s_l = v * ((u - s_h * t_h) - s_h * t_l)
+        # Compute log(ax).
+        s2 = ss * ss
+        r = s2 * s2 * (L1 + s2 * (L2 + s2 * (L3 + s2 * (L4 + s2 * (L5 + s2 * L6)))))
+        r += s_l * (s_h + ss)
+        s2 = s_h * s_h
+        t_h = 3.0 + s2 + r
+        t_h = set_low_word(t_h, 0)
+        t_l = r - ((t_h - 3.0) - s2)
+        # u + v = ss*(1 + ...).
+        u = s_h * t_h
+        v = s_l * t_h + t_l * ss
+        # 2/(3log2)*(ss + ...).
+        p_h = u + v
+        p_h = set_low_word(p_h, 0)
+        p_l = v - (p_h - u)
+        z_h = CP_H * p_h
+        z_l = CP_L * p_h + p_l * CP + DP_L[k]
+        # log2(ax) = (ss + ..)*2/(3*log2) = n + dp_h + z_h + z_l.
+        t = float(n)
+        t1 = ((z_h + z_l) + DP_H[k]) + t
+        t1 = set_low_word(t1, 0)
+        t2 = z_l - (((t1 - t) - DP_H[k]) - z_h)
+
+    # Split y into y1 + y2 and compute (y1 + y2)*(t1 + t2).
+    y1 = set_low_word(y, 0)
+    p_l = (y - y1) * t1 + y * t2
+    p_h = y1 * t1
+    z = p_l + p_h
+    j = high_word(z)
+    i = low_word(z)
+    if j >= 0x40900000:  # z >= 1024
+        if ((j - 0x40900000) | i) != 0:  # z > 1024
+            return s * HUGE * HUGE  # overflow
+        if p_l + OVT > z - p_h:
+            return s * HUGE * HUGE  # overflow
+    elif (j & 0x7FFFFFFF) >= 0x4090CC00:  # z <= -1075
+        if ((j - (0xC090CC00 - 0x100000000)) | i) != 0:  # z < -1075
+            return s * TINY * TINY  # underflow
+        if p_l <= z - p_h:
+            return s * TINY * TINY  # underflow
+
+    # Compute 2**(p_h + p_l).
+    i = j & 0x7FFFFFFF
+    k = (i >> 20) - 0x3FF
+    n = 0
+    if i > 0x3FE00000:  # if |z| > 0.5, set n = [z + 0.5]
+        n = j + (0x00100000 >> (k + 1))
+        k = ((n & 0x7FFFFFFF) >> 20) - 0x3FF  # new k for n
+        t = set_high_word(ZERO, n & ~(0x000FFFFF >> k))
+        n = ((n & 0x000FFFFF) | 0x00100000) >> (20 - k)
+        if j < 0:
+            n = -n
+        p_h -= t
+    t = p_l + p_h
+    t = set_low_word(t, 0)
+    u = t * LG2_H
+    v = (p_l - (t - p_h)) * LG2 + t * LG2_L
+    z = u + v
+    w = v - (z - u)
+    t = z * z
+    t1 = z - t * (P1 + t * (P2 + t * (P3 + t * (P4 + t * P5))))
+    r = (z * t1) / (t1 - TWO) - (w + z * w)
+    z = ONE - (r - z)
+    j = high_word(z)
+    j += n << 20
+    if (j >> 20) <= 0:  # subnormal output
+        z = math.ldexp(z, n)
+    else:
+        z = set_high_word(z, high_word(z) + (n << 20))
+    return s * z

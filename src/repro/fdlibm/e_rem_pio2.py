@@ -1,0 +1,100 @@
+"""Port of Fdlibm 5.3 ``e_rem_pio2.c``: argument reduction modulo pi/2.
+
+``ieee754_rem_pio2(x)`` returns ``(n, y0, y1)`` where the C original writes
+``y0``/``y1`` through its ``double *y`` output parameter (CoverMe reduces
+pointer outputs away, Sect. 5.3).  The very large argument path of the C code
+calls ``__kernel_rem_pio2``; that helper has non-floating-point parameters and
+is excluded from the benchmarks (Table 4), so the port performs the same
+reduction with an equivalent extended-precision remainder.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.fdlibm.bits import fabs, high_word, low_word
+
+TWO24 = 1.67772160000000000000e07
+INVPIO2 = 6.36619772367581382433e-01
+PIO2_1 = 1.57079632673412561417e00
+PIO2_1T = 6.07710050650619224932e-11
+PIO2_2 = 6.07710050630396597660e-11
+PIO2_2T = 2.02226624879595063154e-21
+PIO2_3 = 2.02226624871116645580e-21
+PIO2_3T = 8.47842766036889956997e-32
+HALF = 0.5
+
+#: High words of n*pi/2 for n = 1..32, used by the medium-size argument path.
+NPIO2_HW = tuple(high_word(n * (math.pi / 2.0)) for n in range(1, 33))
+
+
+def ieee754_rem_pio2(x: float) -> tuple[int, float, float]:
+    """``__ieee754_rem_pio2(x, y)``: return ``(n, y[0], y[1])``."""
+    hx = high_word(x)
+    ix = hx & 0x7FFFFFFF
+    if ix <= 0x3FE921FB:  # |x| <= pi/4, no reduction needed
+        return 0, x, 0.0
+    if ix < 0x4002D97C:  # |x| < 3*pi/4, special-cased for speed
+        if hx > 0:
+            z = x - PIO2_1
+            if ix != 0x3FF921FB:  # 33+53 bits of pi/2 are enough
+                y0 = z - PIO2_1T
+                y1 = (z - y0) - PIO2_1T
+            else:  # near pi/2, use 33+33+53 bits
+                z -= PIO2_2
+                y0 = z - PIO2_2T
+                y1 = (z - y0) - PIO2_2T
+            return 1, y0, y1
+        z = x + PIO2_1
+        if ix != 0x3FF921FB:
+            y0 = z + PIO2_1T
+            y1 = (z - y0) + PIO2_1T
+        else:
+            z += PIO2_2
+            y0 = z + PIO2_2T
+            y1 = (z - y0) + PIO2_2T
+        return -1, y0, y1
+    if ix <= 0x413921FB:  # |x| <= 2^19 * (pi/2), medium-size arguments
+        t = fabs(x)
+        n = int(t * INVPIO2 + HALF)
+        fn = float(n)
+        r = t - fn * PIO2_1
+        w = fn * PIO2_1T  # first round, good to 85 bits
+        if n < 32 and ix != NPIO2_HW[n - 1]:
+            y0 = r - w
+        else:
+            j = ix >> 20
+            y0 = r - w
+            i = j - ((high_word(y0) >> 20) & 0x7FF)
+            if i > 16:  # second iteration needed, good to 118 bits
+                t2 = r
+                w = fn * PIO2_2
+                r = t2 - w
+                w = fn * PIO2_2T - ((t2 - r) - w)
+                y0 = r - w
+                i = j - ((high_word(y0) >> 20) & 0x7FF)
+                if i > 49:  # third iteration, 151 bits accuracy
+                    t3 = r
+                    w = fn * PIO2_3
+                    r = t3 - w
+                    w = fn * PIO2_3T - ((t3 - r) - w)
+                    y0 = r - w
+        y1 = (r - y0) - w
+        if hx < 0:
+            return -n, -y0, -y1
+        return n, y0, y1
+    # All other (very large) arguments.
+    if ix >= 0x7FF00000:  # x is inf or NaN
+        y0 = x - x
+        return 0, y0, y0
+    # The C original dispatches to __kernel_rem_pio2 here; reproduce the
+    # reduction with an extended-precision remainder.
+    t = fabs(x)
+    n = int(math.floor(t * INVPIO2 + HALF))
+    r = math.remainder(t, math.pi / 2.0)
+    y0 = r
+    y1 = r - y0
+    n &= 0x7FFFFFFF
+    if hx < 0:
+        return -n, -y0, -y1
+    return n, y0, y1

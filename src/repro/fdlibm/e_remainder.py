@@ -1,0 +1,47 @@
+"""Port of Fdlibm 5.3 ``e_remainder.c``: ``__ieee754_remainder(x, p)``."""
+
+from __future__ import annotations
+
+from repro.fdlibm.bits import fabs, high_word, low_word, set_high_word
+from repro.fdlibm.e_fmod import ieee754_fmod
+
+ZERO = 0.0
+ONE = 1.0
+
+
+def ieee754_remainder(x: float, p: float) -> float:
+    """``__ieee754_remainder(x, p)``: IEEE remainder with round-to-nearest."""
+    hx = high_word(x)
+    lx = low_word(x)
+    hp = high_word(p)
+    lp = low_word(p)
+    sx = hx & 0x80000000
+    hp &= 0x7FFFFFFF
+    hx &= 0x7FFFFFFF
+
+    # Purge off exception values.
+    if (hp | lp) == 0:
+        return float("nan")  # p = 0
+    if hx >= 0x7FF00000 or (hp >= 0x7FF00000 and (((hp - 0x7FF00000) | lp) != 0)):
+        return float("nan")  # x not finite or p is NaN
+
+    if hp <= 0x7FDFFFFF:
+        x = ieee754_fmod(x, p + p)  # now x < 2p
+    if ((hx - hp) | (lx - lp)) == 0:
+        return ZERO * x
+    x = fabs(x)
+    p = fabs(p)
+    if hp < 0x00200000:
+        if x + x > p:
+            x -= p
+            if x + x >= p:
+                x -= p
+    else:
+        p_half = 0.5 * p
+        if x > p_half:
+            x -= p
+            if x >= p_half:
+                x -= p
+    hx = high_word(x)
+    x = set_high_word(x, hx ^ sx)
+    return x

@@ -1,0 +1,31 @@
+"""Port of Fdlibm 5.3 ``e_scalb.c``: ``__ieee754_scalb(x, fn)``.
+
+``scalb(x, fn)`` multiplies ``x`` by ``2**fn`` where ``fn`` is itself a
+double; non-integral ``fn`` yields NaN.  Uses the ``s_scalbn`` helper port.
+"""
+
+from __future__ import annotations
+
+from repro.fdlibm.s_rint import fdlibm_rint
+from repro.fdlibm.s_scalbn import fdlibm_scalbn
+
+
+def _isnan(value: float) -> bool:
+    return value != value
+
+
+def ieee754_scalb(x: float, fn: float) -> float:
+    """``__ieee754_scalb(x, fn)`` following the original's guard ladder."""
+    if _isnan(x) or _isnan(fn):
+        return x * fn
+    if not (fn < float("inf") and fn > float("-inf")):  # fn is +-inf
+        if fn > 0.0:
+            return x * fn
+        return x / (-fn)
+    if fdlibm_rint(fn) != fn:  # fn is not an integer
+        return float("nan")
+    if fn > 65000.0:
+        return fdlibm_scalbn(x, 65000)
+    if -fn > 65000.0:
+        return fdlibm_scalbn(x, -65000)
+    return fdlibm_scalbn(x, int(fn))

@@ -1,0 +1,38 @@
+"""Port of Fdlibm 5.3 ``e_sinh.c``: ``__ieee754_sinh``."""
+
+from __future__ import annotations
+
+from repro.fdlibm.bits import fabs, high_word, low_word
+from repro.fdlibm.e_exp import ieee754_exp
+from repro.fdlibm.s_expm1 import fdlibm_expm1
+
+ONE = 1.0
+SHUGE = 1.0e307
+
+
+def ieee754_sinh(x: float) -> float:
+    """``__ieee754_sinh(x)`` with the original's interval dispatch."""
+    jx = high_word(x)
+    ix = jx & 0x7FFFFFFF
+    if ix >= 0x7FF00000:  # x is inf or NaN
+        return x + x
+    h = 0.5
+    if jx < 0:
+        h = -h
+    if ix < 0x40360000:  # |x| < 22
+        if ix < 0x3E300000:  # |x| < 2**-28
+            if SHUGE + x > ONE:  # sinh(tiny) = tiny with inexact
+                return x
+        t = fdlibm_expm1(fabs(x))
+        if ix < 0x3FF00000:  # |x| < 1
+            return h * (2.0 * t - t * t / (t + ONE))
+        return h * (t + t / (t + ONE))
+    if ix < 0x40862E42:  # |x| in [22, log(DBL_MAX)]
+        return h * ieee754_exp(fabs(x))
+    # |x| in [log(DBL_MAX), overflow threshold].
+    lx = low_word(x)
+    if ix < 0x408633CE or (ix == 0x408633CE and lx <= 0x8FB9F87D):
+        w = ieee754_exp(0.5 * fabs(x))
+        t = h * w
+        return t * w
+    return x * SHUGE  # overflow

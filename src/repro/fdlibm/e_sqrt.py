@@ -1,0 +1,104 @@
+"""Port of Fdlibm 5.3 ``e_sqrt.c``: bit-by-bit square root.
+
+The original computes the square root one bit at a time with 32-bit integer
+arithmetic; the port reproduces that algorithm (with explicit masking where C
+relies on fixed-width wraparound), so the long chain of data-dependent
+branches the paper's Table 2 reports (46) is preserved.
+"""
+
+from __future__ import annotations
+
+from repro.fdlibm.bits import from_words, high_word, low_word
+
+ONE = 1.0
+TINY = 1.0e-300
+SIGN = 0x80000000
+MASK32 = 0xFFFFFFFF
+
+
+def ieee754_sqrt(x: float) -> float:
+    """``__ieee754_sqrt(x)``: correctly-rounded square root, bit by bit."""
+    ix0 = high_word(x)
+    ix1 = low_word(x)
+
+    # Take care of inf and NaN.
+    if (ix0 & 0x7FF00000) == 0x7FF00000:
+        return x * x + x  # sqrt(NaN) = NaN, sqrt(+inf) = +inf, sqrt(-inf) = NaN
+    # Take care of zero and negative arguments.
+    if ix0 <= 0:
+        if ((ix0 & (~SIGN & MASK32)) | ix1) == 0:
+            return x  # sqrt(+-0) = +-0
+        if ix0 < 0:
+            return float("nan")  # sqrt(negative) = NaN
+    # Normalize x.
+    m = ix0 >> 20
+    if m == 0:  # subnormal x
+        while ix0 == 0:
+            m -= 21
+            ix0 |= ix1 >> 11
+            ix1 = (ix1 << 21) & MASK32
+        i = 0
+        while (ix0 & 0x00100000) == 0:
+            ix0 = (ix0 << 1) & MASK32
+            i += 1
+        m -= i - 1
+        ix0 |= ix1 >> (32 - i) if i > 0 else 0
+        ix1 = (ix1 << i) & MASK32
+    m -= 1023  # unbias exponent
+    ix0 = (ix0 & 0x000FFFFF) | 0x00100000
+    if m & 1:  # odd m, double x to make it even
+        ix0 = (ix0 + ix0 + ((ix1 & SIGN) >> 31)) & MASK32
+        ix1 = (ix1 + ix1) & MASK32
+    m >>= 1  # m = [m/2]
+
+    # Generate sqrt(x) bit by bit.
+    ix0 = (ix0 + ix0 + ((ix1 & SIGN) >> 31)) & MASK32
+    ix1 = (ix1 + ix1) & MASK32
+    q = q1 = s0 = s1 = 0
+    r = 0x00200000
+    while r != 0:
+        t = s0 + r
+        if t <= ix0:
+            s0 = t + r
+            ix0 -= t
+            q += r
+        ix0 = (ix0 + ix0 + ((ix1 & SIGN) >> 31)) & MASK32
+        ix1 = (ix1 + ix1) & MASK32
+        r >>= 1
+    r = SIGN
+    while r != 0:
+        t1 = (s1 + r) & MASK32
+        t = s0
+        if t < ix0 or (t == ix0 and t1 <= ix1):
+            s1 = (t1 + r) & MASK32
+            if (t1 & SIGN) == SIGN and (s1 & SIGN) == 0:
+                s0 += 1
+            ix0 -= t
+            if ix1 < t1:
+                ix0 -= 1
+            ix1 = (ix1 - t1) & MASK32
+            q1 = (q1 + r) & MASK32
+        ix0 = (ix0 + ix0 + ((ix1 & SIGN) >> 31)) & MASK32
+        ix1 = (ix1 + ix1) & MASK32
+        r >>= 1
+
+    # Use floating add to find out rounding direction.
+    if (ix0 | ix1) != 0:
+        z = ONE - TINY  # trigger inexact flag
+        if z >= ONE:
+            z = ONE + TINY
+            if q1 == 0xFFFFFFFF:
+                q1 = 0
+                q += 1
+            elif z > ONE:
+                if q1 == 0xFFFFFFFE:
+                    q += 1
+                q1 = (q1 + 2) & MASK32
+            else:
+                q1 += q1 & 1
+    ix0 = (q >> 1) + 0x3FE00000
+    ix1 = q1 >> 1
+    if (q & 1) == 1:
+        ix1 |= SIGN
+    ix0 += m << 20
+    return from_words(ix0, ix1)

@@ -1,0 +1,86 @@
+"""The Fdlibm functions the paper excludes from its evaluation (Table 4).
+
+Three exclusion reasons appear in the paper: functions with no branch,
+functions whose input parameters are not floating-point, and static C
+functions.  This registry reproduces Table 4 so the exclusion bench can
+regenerate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+NO_BRANCH = "no branch"
+UNSUPPORTED_INPUT = "unsupported input type"
+STATIC_FUNCTION = "static C function"
+
+
+@dataclass(frozen=True)
+class ExcludedFunction:
+    file: str
+    function: str
+    reason: str
+
+
+EXCLUDED: tuple[ExcludedFunction, ...] = (
+    ExcludedFunction("e_gamma_r.c", "ieee754_gamma_r(double)", NO_BRANCH),
+    ExcludedFunction("e_gamma.c", "ieee754_gamma(double)", NO_BRANCH),
+    ExcludedFunction("e_j0.c", "pzero(double)", STATIC_FUNCTION),
+    ExcludedFunction("e_j0.c", "qzero(double)", STATIC_FUNCTION),
+    ExcludedFunction("e_j1.c", "pone(double)", STATIC_FUNCTION),
+    ExcludedFunction("e_j1.c", "qone(double)", STATIC_FUNCTION),
+    ExcludedFunction("e_jn.c", "ieee754_jn(int, double)", UNSUPPORTED_INPUT),
+    ExcludedFunction("e_jn.c", "ieee754_yn(int, double)", UNSUPPORTED_INPUT),
+    ExcludedFunction("e_lgamma_r.c", "sin_pi(double)", STATIC_FUNCTION),
+    ExcludedFunction("e_lgamma_r.c", "ieee754_lgammar_r(double, int*)", UNSUPPORTED_INPUT),
+    ExcludedFunction("e_lgamma.c", "ieee754_lgamma(double)", NO_BRANCH),
+    ExcludedFunction("k_rem_pio2.c", "kernel_rem_pio2(double*, double*, int, int, const int*)", UNSUPPORTED_INPUT),
+    ExcludedFunction("k_sin.c", "kernel_sin(double, double, int)", UNSUPPORTED_INPUT),
+    ExcludedFunction("k_standard.c", "kernel_standard(double, double, int)", UNSUPPORTED_INPUT),
+    ExcludedFunction("k_tan.c", "kernel_tan(double, double, int)", UNSUPPORTED_INPUT),
+    ExcludedFunction("s_copysign.c", "copysign(double)", NO_BRANCH),
+    ExcludedFunction("s_fabs.c", "fabs(double)", NO_BRANCH),
+    ExcludedFunction("s_finite.c", "finite(double)", NO_BRANCH),
+    ExcludedFunction("s_frexp.c", "frexp(double, int*)", UNSUPPORTED_INPUT),
+    ExcludedFunction("s_isnan.c", "isnan(double)", NO_BRANCH),
+    ExcludedFunction("s_ldexp.c", "ldexp(double, int)", UNSUPPORTED_INPUT),
+    ExcludedFunction("s_lib_version.c", "lib_versioin(double)", NO_BRANCH),
+    ExcludedFunction("s_matherr.c", "matherr(struct exception*)", UNSUPPORTED_INPUT),
+    ExcludedFunction("s_scalbn.c", "scalbn(double, int)", UNSUPPORTED_INPUT),
+    ExcludedFunction("s_signgam.c", "signgam(double)", NO_BRANCH),
+    ExcludedFunction("s_significand.c", "significand(double)", NO_BRANCH),
+    ExcludedFunction("w_acos.c", "acos(double)", NO_BRANCH),
+    ExcludedFunction("w_acosh.c", "acosh(double)", NO_BRANCH),
+    ExcludedFunction("w_asin.c", "asin(double)", NO_BRANCH),
+    ExcludedFunction("w_atan2.c", "atan2(double, double)", NO_BRANCH),
+    ExcludedFunction("w_atanh.c", "atanh(double)", NO_BRANCH),
+    ExcludedFunction("w_cosh.c", "cosh(double)", NO_BRANCH),
+    ExcludedFunction("w_exp.c", "exp(double)", NO_BRANCH),
+    ExcludedFunction("w_fmod.c", "fmod(double, double)", NO_BRANCH),
+    ExcludedFunction("w_gamma_r.c", "gamma_r(double, int*)", NO_BRANCH),
+    ExcludedFunction("w_gamma.c", "gamma(double, int*)", NO_BRANCH),
+    ExcludedFunction("w_hypot.c", "hypot(double, double)", NO_BRANCH),
+    ExcludedFunction("w_j0.c", "j0(double)", NO_BRANCH),
+    ExcludedFunction("w_j0.c", "y0(double)", NO_BRANCH),
+    ExcludedFunction("w_j1.c", "j1(double)", NO_BRANCH),
+    ExcludedFunction("w_j1.c", "y1(double)", NO_BRANCH),
+    ExcludedFunction("w_jn.c", "jn(double)", NO_BRANCH),
+    ExcludedFunction("w_jn.c", "yn(double)", NO_BRANCH),
+    ExcludedFunction("w_lgamma_r.c", "lgamma_r(double, int*)", NO_BRANCH),
+    ExcludedFunction("w_lgamma.c", "lgamma(double)", NO_BRANCH),
+    ExcludedFunction("w_log.c", "log(double)", NO_BRANCH),
+    ExcludedFunction("w_log10.c", "log10(double)", NO_BRANCH),
+    ExcludedFunction("w_pow.c", "pow(double, double)", NO_BRANCH),
+    ExcludedFunction("w_remainder.c", "remainder(double, double)", NO_BRANCH),
+    ExcludedFunction("w_scalb.c", "scalb(double, double)", NO_BRANCH),
+    ExcludedFunction("w_sinh.c", "sinh(double)", NO_BRANCH),
+    ExcludedFunction("w_sqrt.c", "sqrt(double)", NO_BRANCH),
+)
+
+
+def excluded_by_reason() -> dict[str, list[ExcludedFunction]]:
+    """Group the exclusions by reason, as the paper's Sect. A summarizes them."""
+    groups: dict[str, list[ExcludedFunction]] = {}
+    for item in EXCLUDED:
+        groups.setdefault(item.reason, []).append(item)
+    return groups

@@ -1,0 +1,41 @@
+"""Port of Fdlibm 5.3 ``k_cos.c``: the cosine kernel on ``[-pi/4, pi/4]``.
+
+``kernel_cos(x, y)`` is itself one of the paper's benchmark functions
+(Table 2, 8 branches) and the subject of the incompleteness discussion in
+Sect. D: the branch ``((int) x) == 0`` being false is unreachable because it
+is nested under ``|x| < 2**-27``.
+"""
+
+from __future__ import annotations
+
+from repro.fdlibm.bits import abs_high_word, set_high_word, set_low_word
+
+ONE = 1.0
+
+C1 = 4.16666666666666019037e-02
+C2 = -1.38888888888741095749e-03
+C3 = 2.48015872894767294178e-05
+C4 = -2.75573143513906633035e-07
+C5 = 2.08757232129817482790e-09
+C6 = -1.13596475577881948265e-11
+
+
+def kernel_cos(x: float, y: float) -> float:
+    """``__kernel_cos(x, y)``: cosine of ``x + y`` for ``|x| <= pi/4``."""
+    ix = abs_high_word(x)
+    if ix < 0x3E400000:  # |x| < 2**-27
+        if int(x) == 0:  # generate inexact (always true here)
+            return ONE
+    z = x * x
+    r = z * (C1 + z * (C2 + z * (C3 + z * (C4 + z * (C5 + z * C6)))))
+    if ix < 0x3FD33333:  # |x| < 0.3
+        return ONE - (0.5 * z - (z * r - x * y))
+    if ix > 0x3FE90000:  # |x| > 0.78125
+        qx = 0.28125
+    else:
+        qx = 0.0
+        qx = set_high_word(qx, ix - 0x00200000)  # x/4
+        qx = set_low_word(qx, 0)
+    hz = 0.5 * z - qx
+    a = ONE - qx
+    return a - (hz - (z * r - x * y))

@@ -1,0 +1,31 @@
+"""Port of Fdlibm 5.3 ``k_sin.c``: the sine kernel on ``[-pi/4, pi/4]``.
+
+Not itself a benchmark (its third parameter is an ``int``, see Table 4), but
+required by the ``sin``/``cos``/``tan`` entry points.
+"""
+
+from __future__ import annotations
+
+from repro.fdlibm.bits import abs_high_word
+
+HALF = 5.00000000000000000000e-01
+S1 = -1.66666666666666324348e-01
+S2 = 8.33333333332248946124e-03
+S3 = -1.98412698298579331316e-04
+S4 = 2.75573137070700676789e-06
+S5 = -2.50507602534068634195e-08
+S6 = 1.58969099521155010221e-10
+
+
+def kernel_sin(x: float, y: float, iy: int) -> float:
+    """``__kernel_sin(x, y, iy)``: sine of ``x + y``; ``iy`` tells if ``y`` is 0."""
+    ix = abs_high_word(x)
+    if ix < 0x3E400000:  # |x| < 2**-27
+        if int(x) == 0:
+            return x
+    z = x * x
+    v = z * x
+    r = S2 + z * (S3 + z * (S4 + z * (S5 + z * S6)))
+    if iy == 0:
+        return x + v * (S1 + z * r)
+    return x - ((z * (HALF * y - v * r) - y) - v * S1)

@@ -1,0 +1,74 @@
+"""Port of Fdlibm 5.3 ``k_tan.c``: the tangent kernel on ``[-pi/4, pi/4]``.
+
+Not itself a benchmark (its third parameter is an ``int``).  The branch
+structure of the original kernel is kept; the odd polynomial of the original
+is evaluated with a slightly shorter coefficient list, which only affects the
+last bits of the result, not any branch decision of the callers.
+"""
+
+from __future__ import annotations
+
+from repro.fdlibm.bits import abs_high_word, fabs, high_word, set_high_word, set_low_word
+
+ONE = 1.0
+PIO4 = 7.85398163397448278999e-01
+PIO4LO = 3.06161699786838301793e-17
+
+_T = (
+    3.33333333333334091986e-01,
+    1.33333333333201242699e-01,
+    5.39682539762260521377e-02,
+    2.18694882948595424599e-02,
+    8.86323982359930005737e-03,
+    3.59207910759131235356e-03,
+    1.45620945432529025516e-03,
+    5.88041240820264096874e-04,
+    2.46463134818469906812e-04,
+    7.81794442939557092300e-05,
+    7.14072491382608190305e-05,
+    -1.85586374855275456654e-05,
+    2.59073051863633712884e-05,
+)
+
+
+def kernel_tan(x: float, y: float, iy: int) -> float:
+    """``__kernel_tan(x, y, iy)``: tan (``iy == 1``) or -1/tan (``iy == -1``)."""
+    hx = high_word(x)
+    ix = hx & 0x7FFFFFFF
+    if ix < 0x3E300000:  # |x| < 2**-28
+        if int(x) == 0:
+            if (ix | int(abs(y) > 0)) == 0 and iy == -1:
+                return ONE / fabs(x) if x != 0.0 else float("inf")
+            if iy == 1:
+                return x
+            return -ONE / x if x != 0.0 else float("-inf")
+    if ix >= 0x3FE59428:  # |x| >= 0.6744
+        if hx < 0:
+            x = -x
+            y = -y
+        z = PIO4 - x
+        w = PIO4LO - y
+        x = z + w
+        y = 0.0
+    z = x * x
+    w = z * z
+    r = _T[1] + w * (_T[3] + w * (_T[5] + w * (_T[7] + w * (_T[9] + w * _T[11]))))
+    v = z * (_T[2] + w * (_T[4] + w * (_T[6] + w * (_T[8] + w * (_T[10] + w * _T[12])))))
+    s = z * x
+    r = y + z * (s * (r + v) + y)
+    r += _T[0] * s
+    w = x + r
+    if ix >= 0x3FE59428:
+        v = float(iy)
+        sign = 1.0 if hx >= 0 else -1.0
+        return sign * (v - 2.0 * (x - (w * w / (w + v) - r)))
+    if iy == 1:
+        return w
+    # Compute -1.0 / (x + r) accurately.
+    z = w
+    z = set_low_word(z, 0)
+    v = r - (z - x)
+    t = a = -1.0 / w
+    t = set_low_word(t, 0)
+    s = 1.0 + t * z
+    return t + a * (s + t * v)

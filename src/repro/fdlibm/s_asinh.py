@@ -1,0 +1,34 @@
+"""Port of Fdlibm 5.3 ``s_asinh.c``: inverse hyperbolic sine."""
+
+from __future__ import annotations
+
+from repro.fdlibm.bits import fabs, high_word
+from repro.fdlibm.e_log import ieee754_log
+from repro.fdlibm.e_sqrt import ieee754_sqrt
+from repro.fdlibm.s_log1p import fdlibm_log1p
+
+ONE = 1.0
+HUGE = 1.0e300
+LN2 = 6.93147180559945286227e-01
+
+
+def fdlibm_asinh(x: float) -> float:
+    """``asinh(x)`` = sign(x) * log(|x| + sqrt(x*x + 1))."""
+    hx = high_word(x)
+    ix = hx & 0x7FFFFFFF
+    if ix >= 0x7FF00000:  # x is inf or NaN
+        return x + x
+    if ix < 0x3E300000:  # |x| < 2**-28
+        if HUGE + x > ONE:  # return x inexact except 0
+            return x
+    if ix > 0x41B00000:  # |x| > 2**28
+        w = ieee754_log(fabs(x)) + LN2
+    elif ix > 0x40000000:  # 2**28 > |x| > 2.0
+        t = fabs(x)
+        w = ieee754_log(2.0 * t + ONE / (ieee754_sqrt(x * x + ONE) + t))
+    else:  # 2.0 > |x| > 2**-28
+        t = x * x
+        w = fdlibm_log1p(fabs(x) + t / (ONE + ieee754_sqrt(ONE + t)))
+    if hx > 0:
+        return w
+    return -w

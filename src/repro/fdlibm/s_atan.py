@@ -1,0 +1,78 @@
+"""Port of Fdlibm 5.3 ``s_atan.c``: arc tangent."""
+
+from __future__ import annotations
+
+from repro.fdlibm.bits import fabs, high_word, low_word
+
+ONE = 1.0
+HUGE = 1.0e300
+
+ATANHI = (
+    4.63647609000806093515e-01,  # atan(0.5) high
+    7.85398163397448278999e-01,  # atan(1.0) high
+    9.82793723247329054082e-01,  # atan(1.5) high
+    1.57079632679489655800e00,  # atan(inf) high
+)
+ATANLO = (
+    2.26987774529616870924e-17,
+    3.06161699786838301793e-17,
+    1.39033110312309984516e-17,
+    6.12323399573676603587e-17,
+)
+AT = (
+    3.33333333333329318027e-01,
+    -1.99999999998764832476e-01,
+    1.42857142725034663711e-01,
+    -1.11111104054623557880e-01,
+    9.09088713343650656196e-02,
+    -7.69187620504482999495e-02,
+    6.66107313738753120669e-02,
+    -5.83357013379057348645e-02,
+    4.97687799461593236017e-02,
+    -3.65315727442169155270e-02,
+    1.62858201153657823623e-02,
+)
+
+
+def fdlibm_atan(x: float) -> float:
+    """``atan(x)`` with the original's four-interval argument reduction."""
+    hx = high_word(x)
+    ix = hx & 0x7FFFFFFF
+    if ix >= 0x44100000:  # |x| >= 2**66
+        if ix > 0x7FF00000 or (ix == 0x7FF00000 and low_word(x) != 0):
+            return x + x  # NaN
+        if hx > 0:
+            return ATANHI[3] + ATANLO[3]
+        return -ATANHI[3] - ATANLO[3]
+    if ix < 0x3FDC0000:  # |x| < 0.4375
+        if ix < 0x3E200000:  # |x| < 2**-29
+            if HUGE + x > ONE:  # raise inexact
+                return x
+        idx = -1
+    else:
+        x = fabs(x)
+        if ix < 0x3FF30000:  # |x| < 1.1875
+            if ix < 0x3FE60000:  # 7/16 <= |x| < 11/16
+                idx = 0
+                x = (2.0 * x - ONE) / (2.0 + x)
+            else:  # 11/16 <= |x| < 19/16
+                idx = 1
+                x = (x - ONE) / (x + ONE)
+        else:
+            if ix < 0x40038000:  # |x| < 2.4375
+                idx = 2
+                x = (x - 1.5) / (ONE + 1.5 * x)
+            else:  # 2.4375 <= |x| < 2**66
+                idx = 3
+                x = -1.0 / x
+    # End of argument reduction.
+    z = x * x
+    w = z * z
+    s1 = z * (AT[0] + w * (AT[2] + w * (AT[4] + w * (AT[6] + w * (AT[8] + w * AT[10])))))
+    s2 = w * (AT[1] + w * (AT[3] + w * (AT[5] + w * (AT[7] + w * AT[9]))))
+    if idx < 0:
+        return x - x * (s1 + s2)
+    z = ATANHI[idx] - ((x * (s1 + s2) - ATANLO[idx]) - x)
+    if hx < 0:
+        return -z
+    return z

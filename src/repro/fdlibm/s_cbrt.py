@@ -1,0 +1,49 @@
+"""Port of Fdlibm 5.3 ``s_cbrt.c``: cube root."""
+
+from __future__ import annotations
+
+from repro.fdlibm.bits import high_word, low_word, set_high_word, set_low_word
+
+B1 = 715094163  # B1 = (682-0.03306235651)*2**20
+B2 = 696219795  # B2 = (664-0.03306235651)*2**20
+C = 5.42857142857142815906e-01
+D = -7.05306122448979611050e-01
+E = 1.41428571428571436819e00
+F = 1.60714285714285720630e00
+G = 3.57142857142857150787e-01
+
+
+def fdlibm_cbrt(x: float) -> float:
+    """``cbrt(x)``: rough 5-bit estimate then Newton refinement."""
+    hx = high_word(x)
+    sign = hx & 0x80000000
+    hx &= 0x7FFFFFFF  # hx ^ sign in C: clear the sign bit
+    if hx >= 0x7FF00000:
+        return x + x  # cbrt(NaN, inf) is itself
+    if (hx | low_word(x)) == 0:
+        return x  # cbrt(0) is itself
+    x = set_high_word(x, hx)  # x <- |x|
+    # Rough cbrt to 5 bits.
+    t = 0.0
+    if hx < 0x00100000:  # subnormal number
+        t = set_high_word(t, 0x43500000)  # t = 2**54
+        t *= x
+        t = set_high_word(t, high_word(t) // 3 + B2)
+    else:
+        t = set_high_word(t, hx // 3 + B1)
+    # New cbrt to 23 bits.
+    r = t * t / x
+    s = C + r * t
+    t *= G + F / (s + E + D / s)
+    # Chop to 20 bits and make it larger than cbrt(x).
+    t = set_low_word(t, 0)
+    t = set_high_word(t, high_word(t) + 1)
+    # One Newton step to 53 bits.
+    s = t * t
+    r = x / s
+    w = t + t
+    r = (r - t) / (w + r)
+    t = t + t * r
+    # Restore the sign bit.
+    t = set_high_word(t, high_word(t) | sign)
+    return t

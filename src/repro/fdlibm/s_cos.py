@@ -1,0 +1,26 @@
+"""Port of Fdlibm 5.3 ``s_cos.c``: the ``cos`` entry point."""
+
+from __future__ import annotations
+
+from repro.fdlibm.e_rem_pio2 import ieee754_rem_pio2
+from repro.fdlibm.bits import abs_high_word
+from repro.fdlibm.k_cos import kernel_cos
+from repro.fdlibm.k_sin import kernel_sin
+
+
+def fdlibm_cos(x: float) -> float:
+    """``cos(x)``: dispatch on ``|x|`` then reduce modulo pi/2."""
+    ix = abs_high_word(x)
+    if ix <= 0x3FE921FB:  # |x| <= pi/4
+        return kernel_cos(x, 0.0)
+    if ix >= 0x7FF00000:  # cos(inf or NaN) is NaN
+        return x - x
+    n, y0, y1 = ieee754_rem_pio2(x)
+    quadrant = n & 3
+    if quadrant == 0:
+        return kernel_cos(y0, y1)
+    if quadrant == 1:
+        return -kernel_sin(y0, y1, 1)
+    if quadrant == 2:
+        return -kernel_cos(y0, y1)
+    return kernel_sin(y0, y1, 1)

@@ -1,0 +1,98 @@
+"""Port of Fdlibm 5.3 ``s_expm1.c``: ``exp(x) - 1`` with full branch structure."""
+
+from __future__ import annotations
+
+import math
+
+from repro.fdlibm.bits import high_word, low_word, set_high_word
+
+ONE = 1.0
+HUGE = 1.0e300
+TINY = 1.0e-300
+O_THRESHOLD = 7.09782712893383973096e02
+LN2_HI = 6.93147180369123816490e-01
+LN2_LO = 1.90821492927058770002e-10
+INVLN2 = 1.44269504088896338700e00
+Q1 = -3.33333333333331316428e-02
+Q2 = 1.58730158725481460165e-03
+Q3 = -7.93650757867487942473e-05
+Q4 = 4.00821782732936239552e-06
+Q5 = -2.01099218183624371326e-07
+
+
+def fdlibm_expm1(x: float) -> float:
+    """``expm1(x)`` following the argument-reduction branches of the original."""
+    hx = high_word(x)
+    xsb = hx & 0x80000000  # sign bit of x
+    hx &= 0x7FFFFFFF  # high word of |x|
+
+    # Filter out huge and non-finite arguments.
+    if hx >= 0x4043687A:  # |x| >= 56 * ln2
+        if hx >= 0x40862E42:  # |x| >= 709.78...
+            if hx >= 0x7FF00000:
+                if ((hx & 0xFFFFF) | low_word(x)) != 0:
+                    return x + x  # NaN
+                if xsb == 0:
+                    return x  # expm1(+inf) = inf
+                return -1.0  # expm1(-inf) = -1
+            if x > O_THRESHOLD:
+                return HUGE * HUGE  # overflow
+        if xsb != 0:  # x < -56*ln2, expm1(x) = -1 with inexact
+            if x + TINY < 0.0:  # raise inexact
+                return TINY - ONE
+    # Argument reduction.
+    k = 0
+    c = 0.0
+    if hx > 0x3FD62E42:  # |x| > 0.5 ln2
+        if hx < 0x3FF0A2B2:  # |x| < 1.5 ln2
+            if xsb == 0:
+                hi = x - LN2_HI
+                lo = LN2_LO
+                k = 1
+            else:
+                hi = x + LN2_HI
+                lo = -LN2_LO
+                k = -1
+        else:
+            k = int(INVLN2 * x + (0.5 if xsb == 0 else -0.5))
+            t = float(k)
+            hi = x - t * LN2_HI
+            lo = t * LN2_LO
+        x = hi - lo
+        c = (hi - x) - lo
+    elif hx < 0x3C900000:  # |x| < 2**-54, return x itself
+        t = HUGE + x  # raise inexact
+        return x - (t - (HUGE + x))
+    else:
+        k = 0
+    # x is now in the primary range.
+    hfx = 0.5 * x
+    hxs = x * hfx
+    r1 = ONE + hxs * (Q1 + hxs * (Q2 + hxs * (Q3 + hxs * (Q4 + hxs * Q5))))
+    t = 3.0 - r1 * hfx
+    e = hxs * ((r1 - t) / (6.0 - x * t))
+    if k == 0:
+        return x - (x * e - hxs)  # c is 0 in this case
+    e = x * (e - c) - c
+    e -= hxs
+    if k == -1:
+        return 0.5 * (x - e) - 0.5
+    if k == 1:
+        if x < -0.25:
+            return -2.0 * (e - (x + 0.5))
+        return ONE + 2.0 * (x - e)
+    if k <= -2 or k > 56:  # suffices to return exp(x) - 1
+        y = ONE - (e - x)
+        y = set_high_word(y, high_word(y) + (k << 20))  # add k to y's exponent
+        return y - ONE
+    t = ONE
+    if k < 20:
+        t = set_high_word(t, 0x3FF00000 - (0x200000 >> k))  # t = 1 - 2**-k
+        y = t - (e - x)
+        y = set_high_word(y, high_word(y) + (k << 20))
+    else:
+        t = set_high_word(t, (0x3FF - k) << 20)  # t = 2**-k
+        y = x - (e + t)
+        y += ONE
+        y = set_high_word(y, high_word(y) + (k << 20))
+    return y

@@ -1,0 +1,51 @@
+"""Port of Fdlibm 5.3 ``s_floor.c``: round towards minus infinity."""
+
+from __future__ import annotations
+
+from repro.fdlibm.bits import from_words, high_word, low_word
+
+HUGE = 1.0e300
+
+
+def fdlibm_floor(x: float) -> float:
+    """``floor(x)`` by direct manipulation of the mantissa bits."""
+    i0 = high_word(x)
+    i1 = low_word(x)
+    j0 = ((i0 >> 20) & 0x7FF) - 0x3FF
+    if j0 < 20:
+        if j0 < 0:  # |x| < 1: raise inexact if x != 0
+            if HUGE + x > 0.0:
+                if i0 >= 0:  # return 0*sign(x) if |x| < 1
+                    i0 = 0
+                    i1 = 0
+                elif ((i0 & 0x7FFFFFFF) | i1) != 0:
+                    i0 = 0xBFF00000 - 0x100000000  # -1.0
+                    i1 = 0
+        else:
+            i = 0x000FFFFF >> j0
+            if ((i0 & i) | i1) == 0:
+                return x  # x is integral
+            if HUGE + x > 0.0:  # raise inexact flag
+                if i0 < 0:
+                    i0 += 0x00100000 >> j0
+                i0 &= ~i
+                i1 = 0
+    elif j0 > 51:
+        if j0 == 0x400:
+            return x + x  # inf or NaN
+        return x  # x is integral
+    else:
+        i = 0xFFFFFFFF >> (j0 - 20)
+        if (i1 & i) == 0:
+            return x  # x is integral
+        if HUGE + x > 0.0:  # raise inexact flag
+            if i0 < 0:
+                if j0 == 20:
+                    i0 += 1
+                else:
+                    j = (i1 + (1 << (52 - j0))) & 0xFFFFFFFF
+                    if j < i1:
+                        i0 += 1  # carry into the high word
+                    i1 = j
+            i1 &= ~i
+    return from_words(i0, i1)

@@ -1,0 +1,35 @@
+"""Port of Fdlibm 5.3 ``s_ilogb.c``: binary exponent of x as an int."""
+
+from __future__ import annotations
+
+from repro.fdlibm.bits import high_word, low_word
+
+FP_ILOGB0 = -2147483648  # 0x80000001 in some libms; Fdlibm returns INT_MIN
+FP_ILOGBNAN = 0x7FFFFFFF
+
+
+def fdlibm_ilogb(x: float) -> int:
+    """``ilogb(x)``: unbiased exponent, with the original's subnormal loops."""
+    hx = high_word(x) & 0x7FFFFFFF
+    if hx < 0x00100000:
+        lx = low_word(x)
+        if (hx | lx) == 0:
+            return FP_ILOGB0  # ilogb(0) = INT_MIN
+        if hx == 0:  # subnormal x, x < 2**-1042
+            ix = -1043
+            i = lx
+            while i > 0:
+                ix -= 1
+                i = (i << 1) & 0xFFFFFFFF
+                if i >= 0x80000000:
+                    break
+            return ix
+        ix = -1022
+        i = hx << 11
+        while (i & 0x80000000) == 0 and i != 0:
+            ix -= 1
+            i = (i << 1) & 0xFFFFFFFF
+        return ix
+    if hx < 0x7FF00000:
+        return (hx >> 20) - 1023
+    return FP_ILOGBNAN  # NaN or inf

@@ -1,0 +1,84 @@
+"""Port of Fdlibm 5.3 ``s_log1p.c``: ``log(1 + x)``."""
+
+from __future__ import annotations
+
+from repro.fdlibm.bits import high_word, set_high_word
+
+LN2_HI = 6.93147180369123816490e-01
+LN2_LO = 1.90821492927058770002e-10
+TWO54 = 1.80143985094819840000e16
+LP1 = 6.666666666666735130e-01
+LP2 = 3.999999999940941908e-01
+LP3 = 2.857142874366239149e-01
+LP4 = 2.222219843214978396e-01
+LP5 = 1.818357216161805012e-01
+LP6 = 1.531383769920937332e-01
+LP7 = 1.479819860511658591e-01
+ZERO = 0.0
+ONE = 1.0
+HUGE = 1.0e300
+TINY = 1.0e-300
+
+
+def fdlibm_log1p(x: float) -> float:
+    """``log1p(x)`` keeping the original's branch ladder over ``hx``."""
+    hx = high_word(x)
+    ax = hx & 0x7FFFFFFF
+    k = 1
+    f = 0.0
+    hu = 0
+    if hx < 0x3FDA827A:  # x < 0.41422
+        if ax >= 0x3FF00000:  # x <= -1.0
+            if x == -1.0:
+                return -TWO54 / ZERO if False else float("-inf")  # log1p(-1) = -inf
+            return float("nan")  # log1p(x < -1) = NaN
+        if ax < 0x3E200000:  # |x| < 2**-29
+            if HUGE + x > ZERO and ax < 0x3C900000:  # |x| < 2**-54
+                return x
+            return x - x * x * 0.5
+        if hx > 0 or hx <= (0xBFD2BEC3 - 0x100000000):  # -0.2929 < x < 0.41422
+            k = 0
+            f = x
+            hu = 1
+    if hx >= 0x7FF00000:  # x is inf or NaN
+        return x + x
+    if k != 0:
+        if hx < 0x43400000:  # x < 2**53
+            u = ONE + x
+            hu = high_word(u)
+            k = (hu >> 20) - 1023
+            # Correction term.
+            c = (ONE - (u - x)) if k > 0 else (x - (u - ONE))
+            c /= u
+        else:
+            u = x
+            hu = high_word(u)
+            k = (hu >> 20) - 1023
+            c = 0.0
+        hu &= 0x000FFFFF
+        if hu < 0x6A09E:  # normalize u
+            u = set_high_word(u, hu | 0x3FF00000)
+        else:  # normalize u/2
+            k += 1
+            u = set_high_word(u, hu | 0x3FE00000)
+            hu = (0x00100000 - hu) >> 2
+        f = u - 1.0
+    else:
+        c = 0.0
+    hfsq = 0.5 * f * f
+    if hu == 0:  # |f| < 2**-20
+        if f == ZERO:
+            if k == 0:
+                return ZERO
+            c += k * LN2_LO
+            return k * LN2_HI + c
+        r = hfsq * (1.0 - 0.66666666666666666 * f)
+        if k == 0:
+            return f - r
+        return k * LN2_HI - ((r - (k * LN2_LO + c)) - f)
+    s = f / (2.0 + f)
+    z = s * s
+    r = z * (LP1 + z * (LP2 + z * (LP3 + z * (LP4 + z * (LP5 + z * (LP6 + z * LP7))))))
+    if k == 0:
+        return f - (hfsq - s * (hfsq + r))
+    return k * LN2_HI - ((hfsq - (s * (hfsq + r) + (k * LN2_LO + c))) - f)

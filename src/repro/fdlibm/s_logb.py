@@ -1,0 +1,19 @@
+"""Port of Fdlibm 5.3 ``s_logb.c``: binary exponent of x as a double."""
+
+from __future__ import annotations
+
+from repro.fdlibm.bits import high_word, low_word
+
+
+def fdlibm_logb(x: float) -> float:
+    """``logb(x)``: IEEE 754 logb, truncated to the original's behaviour."""
+    ix = high_word(x) & 0x7FFFFFFF
+    lx = low_word(x)
+    if (ix | lx) == 0:
+        return float("-inf")  # logb(0) = -inf
+    if ix >= 0x7FF00000:
+        return x * x  # NaN or inf
+    ix >>= 20
+    if ix == 0:  # IEEE 754 logb of a subnormal
+        return -1022.0
+    return float(ix - 1023)

@@ -1,0 +1,39 @@
+"""Port of Fdlibm 5.3 ``s_modf.c``: split into integral and fractional parts.
+
+The C original writes the integral part through ``double *iptr``; the port
+returns ``(fractional, integral)`` instead (pointer outputs are reduced away,
+Sect. 5.3).
+"""
+
+from __future__ import annotations
+
+from repro.fdlibm.bits import from_words, high_word, low_word
+
+ONE = 1.0
+
+
+def fdlibm_modf(x: float) -> tuple[float, float]:
+    """``modf(x, iptr)``: return ``(frac, int)`` with both parts signed like x."""
+    i0 = high_word(x)
+    i1 = low_word(x)
+    j0 = ((i0 >> 20) & 0x7FF) - 0x3FF  # exponent of x
+    if j0 < 20:  # integer part in the high word
+        if j0 < 0:  # |x| < 1
+            iptr = from_words(i0 & 0x80000000, 0)  # *iptr = +-0
+            return x, iptr
+        i = 0x000FFFFF >> j0
+        if ((i0 & i) | i1) == 0:  # x is integral
+            iptr = x
+            return from_words(i0 & 0x80000000, 0), iptr  # return +-0
+        iptr = from_words(i0 & (~i), 0)
+        return x - iptr, iptr
+    if j0 > 51:  # no fraction part
+        iptr = x * ONE
+        return from_words(i0 & 0x80000000, 0), iptr  # return +-0 (or NaN)
+    # Fraction part in the low word.
+    i = 0xFFFFFFFF >> (j0 - 20)
+    if (i1 & i) == 0:  # x is integral
+        iptr = x
+        return from_words(i0 & 0x80000000, 0), iptr
+    iptr = from_words(i0, i1 & (~i))
+    return x - iptr, iptr

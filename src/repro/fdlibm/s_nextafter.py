@@ -1,0 +1,54 @@
+"""Port of Fdlibm 5.3 ``s_nextafter.c``: next representable double after x towards y."""
+
+from __future__ import annotations
+
+from repro.fdlibm.bits import from_words, high_word, low_word
+
+
+def fdlibm_nextafter(x: float, y: float) -> float:
+    """``nextafter(x, y)`` by incrementing/decrementing the bit pattern of x."""
+    hx = high_word(x)
+    lx = low_word(x)
+    hy = high_word(y)
+    ly = low_word(y)
+    ix = hx & 0x7FFFFFFF
+    iy = hy & 0x7FFFFFFF
+
+    if (ix >= 0x7FF00000 and ((ix - 0x7FF00000) | lx) != 0) or (
+        iy >= 0x7FF00000 and ((iy - 0x7FF00000) | ly) != 0
+    ):  # x or y is NaN
+        return x + y
+    if x == y:
+        return x  # x == y, return x
+    if (ix | lx) == 0:  # x == 0
+        x = from_words(hy & 0x80000000, 1)  # return +-minsubnormal
+        y = x * x  # raise underflow flag
+        if y == x:
+            return y
+        return x
+    if hx >= 0:  # x > 0
+        if hx > hy or (hx == hy and lx > ly):  # x > y, x -= ulp
+            if lx == 0:
+                hx -= 1
+            lx = (lx - 1) & 0xFFFFFFFF
+        else:  # x < y, x += ulp
+            lx = (lx + 1) & 0xFFFFFFFF
+            if lx == 0:
+                hx += 1
+    else:  # x < 0
+        if hy >= 0 or hx > hy or (hx == hy and lx > ly):  # x < y, x -= ulp
+            if lx == 0:
+                hx -= 1
+            lx = (lx - 1) & 0xFFFFFFFF
+        else:  # x > y, x += ulp
+            lx = (lx + 1) & 0xFFFFFFFF
+            if lx == 0:
+                hx += 1
+    hy = hx & 0x7FF00000
+    if hy >= 0x7FF00000:
+        return x + x  # overflow
+    if hy < 0x00100000:  # underflow
+        y = x * x  # raise underflow flag
+        if y != x:  # raise underflow flag
+            return from_words(hx, lx)
+    return from_words(hx, lx)

@@ -1,0 +1,50 @@
+"""Port of Fdlibm 5.3 ``s_rint.c``: round to nearest integral value."""
+
+from __future__ import annotations
+
+from repro.fdlibm.bits import from_words, high_word, low_word
+
+TWO52 = (4.50359962737049600000e15, -4.50359962737049600000e15)
+
+
+def fdlibm_rint(x: float) -> float:
+    """``rint(x)``: round to integral in the current (to-nearest) mode."""
+    i0 = high_word(x)
+    i1 = low_word(x)
+    sx = (i0 >> 31) & 1
+    j0 = ((i0 >> 20) & 0x7FF) - 0x3FF
+    if j0 < 20:
+        if j0 < 0:
+            if ((i0 & 0x7FFFFFFF) | i1) == 0:
+                return x  # +-0
+            i1 |= i0 & 0x0FFFFF
+            i0 &= 0xFFFE0000
+            i0 |= ((i1 | -i1) >> 12) & 0x80000
+            x = from_words(i0, i1)
+            w = TWO52[sx] + x
+            t = w - TWO52[sx]
+            i0 = high_word(t)
+            return from_words((i0 & 0x7FFFFFFF) | (sx << 31), low_word(t))
+        i = (0x000FFFFF) >> j0
+        if ((i0 & i) | i1) == 0:
+            return x  # x is integral
+        i >>= 1
+        if ((i0 & i) | i1) != 0:
+            if j0 == 19:
+                i1 = 0x40000000
+            else:
+                i0 = (i0 & (~i)) | ((0x20000) >> j0)
+    elif j0 > 51:
+        if j0 == 0x400:
+            return x + x  # inf or NaN
+        return x  # x is integral
+    else:
+        i = 0xFFFFFFFF >> (j0 - 20)
+        if (i1 & i) == 0:
+            return x  # x is integral
+        i >>= 1
+        if (i1 & i) != 0:
+            i1 = (i1 & (~i)) | ((0x40000000) >> (j0 - 20))
+    x = from_words(i0, i1)
+    w = TWO52[sx] + x
+    return w - TWO52[sx]

@@ -1,0 +1,50 @@
+"""Port of Fdlibm 5.3 ``s_scalbn.c``: ``scalbn(x, n)`` helper.
+
+Excluded from the benchmarks (its second parameter is an ``int``, Table 4)
+but required by ``e_scalb`` and ``e_pow``.
+"""
+
+from __future__ import annotations
+
+from repro.fdlibm.bits import high_word, low_word, set_high_word
+
+TWO54 = 1.80143985094819840000e16
+TWOM54 = 5.55111512312578270212e-17
+HUGE = 1.0e300
+TINY = 1.0e-300
+
+
+def fdlibm_scalbn(x: float, n: int) -> float:
+    """``scalbn(x, n)`` = x * 2**n computed by exponent manipulation."""
+    hx = high_word(x)
+    lx = low_word(x)
+    k = (hx & 0x7FF00000) >> 20  # extract exponent
+    if k == 0:  # 0 or subnormal x
+        if (lx | (hx & 0x7FFFFFFF)) == 0:
+            return x  # +-0
+        x *= TWO54
+        hx = high_word(x)
+        k = ((hx & 0x7FF00000) >> 20) - 54
+        if n < -50000:
+            return TINY * x  # underflow
+    if k == 0x7FF:
+        return x + x  # NaN or inf
+    k = k + n
+    if k > 0x7FE:
+        return HUGE * math_copysign(HUGE, x)  # overflow
+    if k > 0:  # normal result
+        return set_high_word(x, (hx & 0x800FFFFF) | (k << 20))
+    if k <= -54:
+        if n > 50000:  # in case of integer overflow in n + k
+            return HUGE * math_copysign(HUGE, x)  # overflow
+        return TINY * math_copysign(TINY, x)  # underflow
+    k += 54  # subnormal result
+    x = set_high_word(x, (hx & 0x800FFFFF) | (k << 20))
+    return x * TWOM54
+
+
+def math_copysign(magnitude: float, sign: float) -> float:
+    """``copysign`` helper used by :func:`fdlibm_scalbn`."""
+    import math
+
+    return math.copysign(magnitude, sign)

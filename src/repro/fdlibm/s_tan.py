@@ -1,0 +1,19 @@
+"""Port of Fdlibm 5.3 ``s_tan.c``: the ``tan`` entry point."""
+
+from __future__ import annotations
+
+from repro.fdlibm.e_rem_pio2 import ieee754_rem_pio2
+from repro.fdlibm.bits import abs_high_word
+from repro.fdlibm.k_tan import kernel_tan
+
+
+def fdlibm_tan(x: float) -> float:
+    """``tan(x)``: dispatch on ``|x|`` then reduce modulo pi/2."""
+    ix = abs_high_word(x)
+    if ix <= 0x3FE921FB:  # |x| <= pi/4
+        return kernel_tan(x, 0.0, 1)
+    if ix >= 0x7FF00000:  # tan(inf or NaN) is NaN
+        return x - x
+    n, y0, y1 = ieee754_rem_pio2(x)
+    # +1 for even n, -1 for odd n: tan(x+n*pi/2) = tan(x) or -1/tan(x).
+    return kernel_tan(y0, y1, 1 - ((n & 1) << 1))

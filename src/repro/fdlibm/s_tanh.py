@@ -1,0 +1,34 @@
+"""Port of Fdlibm 5.3 ``s_tanh.c``: the paper's running example (Fig. 1)."""
+
+from __future__ import annotations
+
+from repro.fdlibm.bits import fabs, high_word
+from repro.fdlibm.s_expm1 import fdlibm_expm1
+
+ONE = 1.0
+TWO = 2.0
+TINY = 1.0e-300
+
+
+def fdlibm_tanh(x: float) -> float:
+    """``tanh(x)`` with the exact branch structure of the C original."""
+    jx = high_word(x)
+    ix = jx & 0x7FFFFFFF
+    if ix >= 0x7FF00000:  # x is inf or NaN
+        if jx >= 0:
+            return ONE / x + ONE  # tanh(+inf) = 1, tanh(NaN) = NaN
+        return ONE / x - ONE  # tanh(-inf) = -1
+    if ix < 0x40360000:  # |x| < 22
+        if ix < 0x3C800000:  # |x| < 2**-55
+            return x * (ONE + x)  # tanh(tiny) = tiny with inexact
+        if ix >= 0x3FF00000:  # |x| >= 1
+            t = fdlibm_expm1(TWO * fabs(x))
+            z = ONE - TWO / (t + TWO)
+        else:
+            t = fdlibm_expm1(-TWO * fabs(x))
+            z = -t / (t + TWO)
+    else:  # |x| >= 22, tanh(x) = +-1 with inexact
+        z = ONE - TINY
+    if jx >= 0:
+        return z
+    return -z

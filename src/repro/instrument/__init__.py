@@ -1,0 +1,40 @@
+"""Instrumentation substrate.
+
+The paper instruments the program under test with an LLVM pass that inserts
+``r = pen(l_i, op, a, b)`` immediately before every conditional statement.
+This package is the Python analogue: an AST pass rewrites every conditional
+test of a Python function into calls on a :class:`~repro.instrument.runtime.Runtime`
+object which evaluates branch distances, drives the injected ``r`` register
+through a pluggable penalty policy, and records branch coverage.
+
+The package is deliberately independent of :mod:`repro.core`: the runtime is
+parameterised by a *penalty policy* so the same instrumentation serves both
+CoverMe's representing function and plain coverage measurement for the
+baseline tools.
+"""
+
+from repro.instrument.ast_pass import InstrumentationPass, instrument_source
+from repro.instrument.cfg import DescendantAnalysis
+from repro.instrument.program import InstrumentedProgram, instrument
+from repro.instrument.runtime import (
+    BranchId,
+    ConditionalOutcome,
+    ExecutionRecord,
+    PenaltyPolicy,
+    Runtime,
+)
+from repro.instrument.signature import ProgramSignature
+
+__all__ = [
+    "BranchId",
+    "ConditionalOutcome",
+    "DescendantAnalysis",
+    "ExecutionRecord",
+    "InstrumentationPass",
+    "InstrumentedProgram",
+    "PenaltyPolicy",
+    "ProgramSignature",
+    "Runtime",
+    "instrument",
+    "instrument_source",
+]

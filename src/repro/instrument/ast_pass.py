@@ -1,0 +1,231 @@
+"""The AST instrumentation pass (analogue of the paper's LLVM pass).
+
+For every conditional statement ``l_i`` (``if`` or ``while``) of the program
+under test, the pass rewrites the test expression so that it is evaluated
+through the installed :class:`~repro.instrument.runtime.Runtime`:
+
+``if a <= b:``  becomes  ``if rt.resolve(i, "single", rt.cmp(i, "<=", a, b)):``
+
+``rt.cmp`` computes the branch distance of Def. 4.1 and returns the Boolean
+outcome, so the control flow of the program is unchanged; ``rt.resolve``
+applies the ``pen`` update of Def. 4.2 to the injected register ``r`` and
+records coverage.  This is exactly the effect of the paper's injected
+``r = pen(l_i, op, a, b)`` assignment placed before ``l_i``.
+
+Boolean combinations of comparisons (``a < b and c < d``) are supported as an
+extension: each comparison is instrumented individually and the distances are
+composed by the runtime.  Tests that are not comparisons over numbers fall
+back to :meth:`Runtime.truth`, mirroring how CoverMe promotes integer
+comparisons and ignores incomparable conditions (Sect. 5.3).
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from dataclasses import dataclass
+
+#: Name under which the runtime handle is made visible to instrumented code.
+HANDLE_NAME = "__coverme_rt__"
+
+_AST_OPS = {
+    ast.Eq: "==",
+    ast.NotEq: "!=",
+    ast.Lt: "<",
+    ast.LtE: "<=",
+    ast.Gt: ">",
+    ast.GtE: ">=",
+}
+
+_NEGATED = {"==": "!=", "!=": "==", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+
+@dataclass(frozen=True)
+class ConditionalInfo:
+    """Static description of one labeled conditional statement."""
+
+    label: int
+    kind: str  # "if" or "while"
+    lineno: int
+    source: str
+
+
+def collect_conditionals(node: ast.AST) -> list[ast.stmt]:
+    """Return the ``if``/``while`` statements of ``node`` in source order.
+
+    Nested function and class definitions are not descended into: CoverMe
+    instruments one entry function at a time (Sect. 5.3).
+    """
+    found: list[ast.stmt] = []
+
+    def visit_block(stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(stmt, ast.If):
+                found.append(stmt)
+                visit_block(stmt.body)
+                visit_block(stmt.orelse)
+            elif isinstance(stmt, ast.While):
+                found.append(stmt)
+                visit_block(stmt.body)
+                visit_block(stmt.orelse)
+            elif isinstance(stmt, ast.For):
+                visit_block(stmt.body)
+                visit_block(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                visit_block(stmt.body)
+                for handler in stmt.handlers:
+                    visit_block(handler.body)
+                visit_block(stmt.orelse)
+                visit_block(stmt.finalbody)
+            elif isinstance(stmt, ast.With):
+                visit_block(stmt.body)
+
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+        visit_block(node.body)
+    else:
+        raise TypeError(f"expected a function or module node, got {type(node).__name__}")
+    return found
+
+
+def assign_labels(
+    node: ast.AST, start: int = 0
+) -> tuple[dict[int, int], list[ast.stmt]]:
+    """Assign consecutive labels to the conditionals of ``node``.
+
+    Returns a mapping from ``id(stmt)`` to label, plus the ordered statements.
+    """
+    stmts = collect_conditionals(node)
+    labels = {id(stmt): start + index for index, stmt in enumerate(stmts)}
+    return labels, stmts
+
+
+class InstrumentationPass(ast.NodeTransformer):
+    """Rewrites conditional tests into runtime probe calls."""
+
+    def __init__(self, labels: dict[int, int], handle_name: str = HANDLE_NAME):
+        self.labels = labels
+        self.handle_name = handle_name
+        self.conditionals: list[ConditionalInfo] = []
+
+    # -- statement visitors ----------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> ast.AST:
+        # Only the outermost function is transformed; nested defs are left as-is.
+        node.body = [self.visit(stmt) for stmt in node.body]
+        return node
+
+    def visit_If(self, node: ast.If) -> ast.AST:
+        self.generic_visit(node)
+        return self._instrument_test(node, "if")
+
+    def visit_While(self, node: ast.While) -> ast.AST:
+        self.generic_visit(node)
+        return self._instrument_test(node, "while")
+
+    def visit_Lambda(self, node: ast.Lambda) -> ast.AST:
+        return node
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> ast.AST:
+        return node
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _instrument_test(self, node, kind: str):
+        label = self.labels.get(id(node))
+        if label is None:
+            return node
+        try:
+            source = ast.unparse(node.test)
+        except Exception:  # pragma: no cover - unparse is best-effort metadata
+            source = "<unprintable>"
+        self.conditionals.append(
+            ConditionalInfo(label=label, kind=kind, lineno=getattr(node, "lineno", 0), source=source)
+        )
+        node.test = self._rewrite_test(label, node.test)
+        return node
+
+    def _rewrite_test(self, label: int, test: ast.expr) -> ast.expr:
+        simple = self._as_simple_comparison(test)
+        if simple is not None:
+            op, lhs, rhs = simple
+            return self._call(
+                "resolve",
+                [ast.Constant(label), ast.Constant("single"), self._cmp_call(label, op, lhs, rhs)],
+            )
+        if isinstance(test, ast.BoolOp):
+            parts = [self._as_simple_comparison(value) for value in test.values]
+            if all(part is not None for part in parts):
+                mode = "and" if isinstance(test.op, ast.And) else "or"
+                new_values = [
+                    self._cmp_call(label, op, lhs, rhs) for op, lhs, rhs in parts  # type: ignore[misc]
+                ]
+                boolop = ast.BoolOp(op=test.op, values=new_values)
+                return self._call(
+                    "resolve", [ast.Constant(label), ast.Constant(mode), boolop]
+                )
+        # Fallback: record coverage (and a promoted ``!= 0`` distance when the
+        # value turns out to be numeric at run time).
+        return self._call("truth", [ast.Constant(label), test])
+
+    def _as_simple_comparison(self, test: ast.expr):
+        """Return ``(op, lhs, rhs)`` if ``test`` is a supported comparison."""
+        if (
+            isinstance(test, ast.UnaryOp)
+            and isinstance(test.op, ast.Not)
+            and isinstance(test.operand, ast.Compare)
+        ):
+            inner = self._as_simple_comparison(test.operand)
+            if inner is not None:
+                op, lhs, rhs = inner
+                return _NEGATED[op], lhs, rhs
+            return None
+        if isinstance(test, ast.Compare) and len(test.ops) == 1 and len(test.comparators) == 1:
+            op_type = type(test.ops[0])
+            if op_type in _AST_OPS:
+                return _AST_OPS[op_type], test.left, test.comparators[0]
+        return None
+
+    def _cmp_call(self, label: int, op: str, lhs: ast.expr, rhs: ast.expr) -> ast.Call:
+        return self._call("cmp", [ast.Constant(label), ast.Constant(op), lhs, rhs])
+
+    def _call(self, method: str, args: list[ast.expr]) -> ast.Call:
+        return ast.Call(
+            func=ast.Attribute(
+                value=ast.Name(id=self.handle_name, ctx=ast.Load()),
+                attr=method,
+                ctx=ast.Load(),
+            ),
+            args=args,
+            keywords=[],
+        )
+
+
+def instrument_source(
+    source: str, function_name: str | None = None, start_label: int = 0
+) -> tuple[ast.Module, list[ConditionalInfo], dict[int, int], ast.FunctionDef]:
+    """Parse and instrument the source of a single function.
+
+    Returns the transformed module AST, the conditional metadata, the label
+    mapping (on the *original* statement objects, which are mutated in place
+    by the transformer but keep their identity), and the function node.
+    """
+    tree = ast.parse(textwrap.dedent(source))
+    func_node = None
+    for stmt in tree.body:
+        if isinstance(stmt, ast.FunctionDef) and (
+            function_name is None or stmt.name == function_name
+        ):
+            func_node = stmt
+            break
+    if func_node is None:
+        raise ValueError(
+            f"could not find function {function_name!r} in the provided source"
+        )
+    func_node.decorator_list = []
+    labels, _ = assign_labels(func_node, start=start_label)
+    instrumentation = InstrumentationPass(labels)
+    instrumentation.visit(func_node)
+    ast.fix_missing_locations(tree)
+    return tree, instrumentation.conditionals, labels, func_node

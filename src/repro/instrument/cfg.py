@@ -1,0 +1,150 @@
+"""Descendant-branch analysis (Def. 3.2 support).
+
+Saturation (Def. 3.2) needs to know, for every branch ``b``, the set of
+*descendant branches*: branches reachable from ``b`` by control flow.  This
+module computes a conservative static over-approximation directly on the
+Python AST of the program under test:
+
+* branches nested inside the taken arm of a conditional are descendants of
+  that arm;
+* conditionals appearing after a statement are descendants of both arms,
+  unless the arm always terminates abruptly (``return``/``raise``/``break``/
+  ``continue``), in which case nothing that follows is reachable from it;
+* a ``while`` loop's body branches (and the loop test itself) are descendants
+  of the loop's true branch.
+
+Over-approximating descendants is safe for the algorithm: it can only delay
+the moment a branch is declared saturated, never declare saturation too
+early, so condition C2 of the representing function is preserved.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.instrument.runtime import BranchId
+
+
+@dataclass
+class DescendantAnalysis:
+    """Maps every branch to the conditionals reachable after taking it."""
+
+    reachable: dict[BranchId, frozenset[int]] = field(default_factory=dict)
+
+    @classmethod
+    def from_function(
+        cls, func_node: ast.FunctionDef, labels: dict[int, int]
+    ) -> "DescendantAnalysis":
+        """Run the analysis on a (possibly already instrumented) function AST."""
+        analysis = cls()
+        analysis._labels = labels  # type: ignore[attr-defined]
+        analysis._walk_block(func_node.body, frozenset())
+        # Ensure every labeled conditional has entries even if unreachable.
+        for label in labels.values():
+            analysis.reachable.setdefault(BranchId(label, True), frozenset())
+            analysis.reachable.setdefault(BranchId(label, False), frozenset())
+        return analysis
+
+    def merge(self, other: "DescendantAnalysis") -> None:
+        """Merge another function's analysis (used for multi-function programs)."""
+        self.reachable.update(other.reachable)
+
+    def descendant_conditionals(self, branch: BranchId) -> frozenset[int]:
+        """Conditional labels reachable by control flow after taking ``branch``."""
+        return self.reachable.get(branch, frozenset())
+
+    def descendant_branches(self, branch: BranchId) -> frozenset[BranchId]:
+        """Descendant branches of ``branch`` in the sense of Def. 3.2."""
+        result: set[BranchId] = set()
+        for label in self.descendant_conditionals(branch):
+            result.add(BranchId(label, True))
+            result.add(BranchId(label, False))
+        return frozenset(result)
+
+    # -- recursive walk ----------------------------------------------------------
+
+    def _label_of(self, stmt: ast.stmt) -> int | None:
+        return self._labels.get(id(stmt))  # type: ignore[attr-defined]
+
+    def _contains(self, stmts: list[ast.stmt]) -> frozenset[int]:
+        """All conditional labels syntactically contained in a block."""
+        found: set[int] = set()
+
+        def visit(block: list[ast.stmt]) -> None:
+            for stmt in block:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    continue
+                label = self._label_of(stmt)
+                if label is not None:
+                    found.add(label)
+                for attr in ("body", "orelse", "finalbody"):
+                    child = getattr(stmt, attr, None)
+                    if child:
+                        visit(child)
+                for handler in getattr(stmt, "handlers", []) or []:
+                    visit(handler.body)
+
+        visit(stmts)
+        return frozenset(found)
+
+    def _terminates(self, stmts: list[ast.stmt]) -> bool:
+        """Whether a block always exits abruptly (conservative)."""
+        for stmt in stmts:
+            if isinstance(stmt, (ast.Return, ast.Raise, ast.Break, ast.Continue)):
+                return True
+            if isinstance(stmt, ast.If):
+                if (
+                    stmt.orelse
+                    and self._terminates(stmt.body)
+                    and self._terminates(stmt.orelse)
+                ):
+                    return True
+        return False
+
+    def _walk_block(self, stmts: list[ast.stmt], continuation: frozenset[int]) -> None:
+        for index, stmt in enumerate(stmts):
+            suffix = stmts[index + 1 :]
+            following = self._contains(suffix)
+            if not self._terminates(suffix):
+                following = following | continuation
+            self._visit_stmt(stmt, following)
+
+    def _visit_stmt(self, stmt: ast.stmt, following: frozenset[int]) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        if isinstance(stmt, ast.If):
+            label = self._label_of(stmt)
+            body_labels = self._contains(stmt.body)
+            else_labels = self._contains(stmt.orelse)
+            if label is not None:
+                true_reach = body_labels | (frozenset() if self._terminates(stmt.body) else following)
+                false_reach = else_labels | (
+                    frozenset() if stmt.orelse and self._terminates(stmt.orelse) else following
+                )
+                self.reachable[BranchId(label, True)] = true_reach
+                self.reachable[BranchId(label, False)] = false_reach
+            self._walk_block(stmt.body, following)
+            self._walk_block(stmt.orelse, following)
+        elif isinstance(stmt, ast.While):
+            label = self._label_of(stmt)
+            body_labels = self._contains(stmt.body)
+            loop_reach = body_labels | following
+            if label is not None:
+                loop_reach = loop_reach | {label}
+                self.reachable[BranchId(label, True)] = loop_reach
+                self.reachable[BranchId(label, False)] = following
+            self._walk_block(stmt.body, loop_reach)
+            self._walk_block(stmt.orelse, following)
+        elif isinstance(stmt, ast.For):
+            body_labels = self._contains(stmt.body)
+            self._walk_block(stmt.body, body_labels | following)
+            self._walk_block(stmt.orelse, following)
+        elif isinstance(stmt, ast.Try):
+            self._walk_block(stmt.body, following)
+            for handler in stmt.handlers:
+                self._walk_block(handler.body, following)
+            self._walk_block(stmt.orelse, following)
+            self._walk_block(stmt.finalbody, following)
+        elif isinstance(stmt, ast.With):
+            self._walk_block(stmt.body, following)

@@ -1,0 +1,169 @@
+"""Compilation of an instrumented program (``FOO_I`` of the paper).
+
+:func:`instrument` takes a Python function (and optionally helper functions it
+calls, per the "Handling Function Calls" paragraph of Sect. 5.3), applies the
+AST pass, compiles the result into a fresh namespace sharing the original
+globals, and returns an :class:`InstrumentedProgram` handle.  Executing the
+program through :meth:`InstrumentedProgram.run` with a
+:class:`~repro.instrument.runtime.Runtime` yields the return value, the final
+value of the injected register ``r`` and the coverage record -- everything the
+representing function and the coverage substrate need.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.instrument.ast_pass import (
+    HANDLE_NAME,
+    ConditionalInfo,
+    instrument_source,
+)
+from repro.instrument.cfg import DescendantAnalysis
+from repro.instrument.runtime import (
+    BranchId,
+    ExecutionRecord,
+    Runtime,
+    RuntimeHandle,
+)
+from repro.instrument.signature import ProgramSignature
+
+
+class InstrumentationError(RuntimeError):
+    """Raised when a function cannot be instrumented (e.g. no source)."""
+
+
+@dataclass
+class InstrumentedProgram:
+    """A compiled, instrumented program under test.
+
+    Attributes:
+        name: Name of the entry function.
+        signature: Input-domain description of the entry function.
+        conditionals: Static metadata for every instrumented conditional.
+        descendants: Descendant-branch analysis used by saturation tracking.
+    """
+
+    name: str
+    signature: ProgramSignature
+    conditionals: list[ConditionalInfo]
+    descendants: DescendantAnalysis
+    entry: Callable = field(repr=False)
+    handle: RuntimeHandle = field(repr=False)
+    source: str = field(repr=False, default="")
+
+    @property
+    def arity(self) -> int:
+        """Number of double inputs of the entry function."""
+        return self.signature.arity
+
+    @property
+    def n_conditionals(self) -> int:
+        return len(self.conditionals)
+
+    @property
+    def n_branches(self) -> int:
+        """Gcov-style branch count: two branches per conditional."""
+        return 2 * len(self.conditionals)
+
+    @property
+    def all_branches(self) -> frozenset[BranchId]:
+        branches: set[BranchId] = set()
+        for cond in self.conditionals:
+            branches.add(BranchId(cond.label, True))
+            branches.add(BranchId(cond.label, False))
+        return frozenset(branches)
+
+    def descendant_branches(self, branch: BranchId) -> frozenset[BranchId]:
+        return self.descendants.descendant_branches(branch)
+
+    def run(
+        self, args: Sequence[float], runtime: Optional[Runtime] = None
+    ) -> tuple[object, float, ExecutionRecord]:
+        """Execute the instrumented program on ``args``.
+
+        Returns ``(return_value, r, record)``.  Exceptions escaping the
+        program under test (domain errors, overflow raised as Python
+        exceptions) are swallowed: the execution record up to the fault is
+        still meaningful and the representing function must stay total.
+        """
+        runtime = runtime if runtime is not None else Runtime()
+        self.handle.install(runtime)
+        runtime.begin()
+        value: object = None
+        try:
+            value = self.entry(*args)
+        except (ArithmeticError, ValueError, OverflowError):
+            value = None
+        r, record = runtime.end()
+        return value, r, record
+
+
+def instrument(
+    func: Callable,
+    extra_functions: Iterable[Callable] = (),
+    signature: Optional[ProgramSignature] = None,
+) -> InstrumentedProgram:
+    """Instrument ``func`` (and optionally helpers it calls) for CoverMe.
+
+    Args:
+        func: The entry function under test.  Its source must be available
+            through :func:`inspect.getsource`.
+        extra_functions: Helper functions called by ``func`` whose branches
+            should also be instrumented and counted (Sect. 5.3, "Handling
+            Function Calls").  They are compiled into the same namespace so
+            calls from the entry function reach the instrumented versions.
+        signature: Optional explicit input-domain description; derived from
+            ``func``'s parameters when omitted.
+
+    Returns:
+        An :class:`InstrumentedProgram`.
+    """
+    handle = RuntimeHandle()
+    targets = [func, *extra_functions]
+
+    # Build the shared namespace first so instrumented definitions (added in
+    # the second pass) are never shadowed by the originals from a later
+    # target's module globals.
+    namespace: dict = {}
+    for target in targets:
+        namespace.update(getattr(target, "__globals__", {}))
+    namespace[HANDLE_NAME] = handle
+
+    conditionals: list[ConditionalInfo] = []
+    analysis = DescendantAnalysis()
+    next_label = 0
+    sources: list[str] = []
+
+    for target in targets:
+        try:
+            source = textwrap.dedent(inspect.getsource(target))
+        except (OSError, TypeError) as exc:
+            raise InstrumentationError(
+                f"cannot obtain source for {getattr(target, '__name__', target)!r}: {exc}"
+            ) from exc
+        tree, conds, labels, func_node = instrument_source(
+            source, function_name=target.__name__, start_label=next_label
+        )
+        next_label += len(conds)
+        conditionals.extend(conds)
+        analysis.merge(DescendantAnalysis.from_function(func_node, labels))
+        code = compile(tree, filename=f"<instrumented:{target.__name__}>", mode="exec")
+        exec(code, namespace)  # noqa: S102 - compiling the user's own function
+        sources.append(ast.unparse(tree))
+
+    entry = namespace[func.__name__]
+    sig = signature or ProgramSignature.from_callable(func)
+    return InstrumentedProgram(
+        name=func.__name__,
+        signature=sig,
+        conditionals=conditionals,
+        descendants=analysis,
+        entry=entry,
+        handle=handle,
+        source="\n\n".join(sources),
+    )

@@ -1,0 +1,283 @@
+"""Execution runtime for instrumented programs.
+
+The runtime plays the role of the paper's injected global variable ``r`` plus
+the ``pen`` dispatch (Sect. 3.2, Step 1).  Every conditional test of the
+instrumented program is rewritten into calls on a :class:`Runtime` instance:
+
+* :meth:`Runtime.cmp` evaluates one arithmetic comparison ``a op b`` inside a
+  conditional test, computes the branch distances towards both outcomes
+  (Def. 4.1) and returns the Boolean outcome so the program's control flow is
+  unchanged.
+* :meth:`Runtime.resolve` is called with the truth value of the whole test of
+  conditional ``l_i``.  It composes the recorded distances, hands them to the
+  installed :class:`PenaltyPolicy` (CoverMe's ``pen``) to update ``r``, and
+  records branch coverage.
+* :meth:`Runtime.truth` handles non-comparison tests (``if flag:``); numeric
+  values are promoted to the comparison ``value != 0`` per Sect. 5.3, anything
+  else is recorded for coverage only.
+
+The runtime is policy-agnostic: with ``policy=None`` it only records coverage
+(this is how the baseline tools and the Gcov substrate use it); with CoverMe's
+penalty policy installed it computes the representing function.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Protocol
+
+from repro.core.branch_distance import DEFAULT_EPSILON, branch_distance, negate_op
+
+_COMPARISON_OPS = {"==", "!=", "<", "<=", ">", ">="}
+
+
+@dataclass(frozen=True, order=True)
+class BranchId:
+    """Identifies one branch: conditional label plus outcome (True/False arm)."""
+
+    conditional: int
+    outcome: bool
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        arm = "T" if self.outcome else "F"
+        return f"{self.conditional}{arm}"
+
+    @property
+    def sibling(self) -> "BranchId":
+        """The other branch of the same conditional."""
+        return BranchId(self.conditional, not self.outcome)
+
+
+@dataclass
+class ConditionalOutcome:
+    """One dynamic evaluation of a conditional statement's test."""
+
+    conditional: int
+    outcome: bool
+    distance_true: Optional[float]
+    distance_false: Optional[float]
+
+    @property
+    def branch(self) -> BranchId:
+        return BranchId(self.conditional, self.outcome)
+
+
+@dataclass
+class ExecutionRecord:
+    """Everything observed while executing the instrumented program once."""
+
+    path: list[ConditionalOutcome] = field(default_factory=list)
+    covered: set[BranchId] = field(default_factory=set)
+
+    def register(self, outcome: ConditionalOutcome) -> None:
+        self.path.append(outcome)
+        self.covered.add(outcome.branch)
+
+    @property
+    def last(self) -> Optional[ConditionalOutcome]:
+        return self.path[-1] if self.path else None
+
+    def conditionals_executed(self) -> set[int]:
+        return {o.conditional for o in self.path}
+
+
+class PenaltyPolicy(Protocol):
+    """Interface of the ``pen`` function plugged into the runtime."""
+
+    def penalty(
+        self,
+        conditional: int,
+        distance_true: Optional[float],
+        distance_false: Optional[float],
+        outcome: bool,
+        current_r: float,
+    ) -> float:
+        """Return the new value of the global register ``r``."""
+        ...  # pragma: no cover - protocol
+
+
+class Runtime:
+    """The injected ``r`` register and probe dispatch of an instrumented run.
+
+    Args:
+        policy: Penalty policy deciding how ``r`` evolves at each conditional.
+            ``None`` means pure coverage recording (``r`` stays at 1).
+        epsilon: The small positive constant of Def. 4.1 used for strict
+            comparisons.
+    """
+
+    def __init__(self, policy: Optional[PenaltyPolicy] = None, epsilon: float = DEFAULT_EPSILON):
+        self.policy = policy
+        self.epsilon = epsilon
+        self._r = 1.0
+        self._record: ExecutionRecord = ExecutionRecord()
+        self._pending: dict[int, list[tuple[Optional[float], Optional[float]]]] = {}
+        self.total_evaluations = 0
+
+    # -- execution lifecycle -------------------------------------------------
+
+    def begin(self) -> None:
+        """Start one execution: reset ``r`` to 1 (Step 2 of the algorithm)."""
+        self._r = 1.0
+        self._record = ExecutionRecord()
+        self._pending = {}
+        self.total_evaluations += 1
+
+    def end(self) -> tuple[float, ExecutionRecord]:
+        """Finish one execution, returning the final ``r`` and the record."""
+        return self._r, self._record
+
+    @property
+    def r(self) -> float:
+        """Current value of the injected global register."""
+        return self._r
+
+    @property
+    def record(self) -> ExecutionRecord:
+        return self._record
+
+    # -- probes (called from instrumented code) -------------------------------
+
+    def cmp(self, conditional: int, op: str, lhs, rhs) -> bool:
+        """Instrumented arithmetic comparison inside the test of ``conditional``.
+
+        Computes the branch distances of Def. 4.1 towards the true and the
+        false outcome, stashes them for :meth:`resolve`, and returns the
+        outcome of the comparison so program semantics are preserved.
+        """
+        if op not in _COMPARISON_OPS:
+            raise ValueError(f"unsupported comparison operator {op!r}")
+        outcome = _evaluate(op, lhs, rhs)
+        d_true, d_false = self._distances(op, lhs, rhs)
+        self._pending.setdefault(conditional, []).append((d_true, d_false))
+        return outcome
+
+    def truth(self, conditional: int, value) -> bool:
+        """Instrumented non-comparison test (e.g. ``if flag:``).
+
+        Numeric values are promoted to the comparison ``value != 0``
+        (Sect. 5.3); other values only get coverage recording.
+        """
+        outcome = bool(value)
+        if isinstance(value, bool):
+            d_true = 0.0 if outcome else self.epsilon
+            d_false = self.epsilon if outcome else 0.0
+            self._pending.setdefault(conditional, []).append((d_true, d_false))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            d_true, d_false = self._distances("!=", float(value), 0.0)
+            self._pending.setdefault(conditional, []).append((d_true, d_false))
+        return self.resolve(conditional, "single", outcome)
+
+    def resolve(self, conditional: int, mode: str, outcome) -> bool:
+        """Finalize the evaluation of ``conditional``'s test.
+
+        ``mode`` is ``"single"`` for a plain comparison, ``"and"``/``"or"``
+        for Boolean combinations of comparisons.  The composed distances are
+        handed to the penalty policy which updates ``r``; the branch taken is
+        added to the coverage record.
+        """
+        outcome = bool(outcome)
+        parts = self._pending.pop(conditional, [])
+        d_true, d_false = _compose(mode, parts)
+        if self.policy is not None and (d_true is not None or d_false is not None):
+            self._r = float(
+                self.policy.penalty(conditional, d_true, d_false, outcome, self._r)
+            )
+        self._record.register(
+            ConditionalOutcome(
+                conditional=conditional,
+                outcome=outcome,
+                distance_true=d_true,
+                distance_false=d_false,
+            )
+        )
+        return outcome
+
+    # -- internals -------------------------------------------------------------
+
+    def _distances(self, op: str, lhs, rhs) -> tuple[Optional[float], Optional[float]]:
+        try:
+            a = float(lhs)
+            b = float(rhs)
+        except (TypeError, ValueError):
+            return None, None
+        if math.isnan(a) or math.isnan(b):
+            # NaN comparisons are all-false except ``!=``; there is no usable
+            # gradient, so report a large constant distance.
+            big = 1.0e300
+            return (0.0, big) if op == "!=" else (big, 0.0)
+        d_true = branch_distance(op, a, b, self.epsilon)
+        d_false = branch_distance(negate_op(op), a, b, self.epsilon)
+        return d_true, d_false
+
+
+class RuntimeHandle:
+    """Mutable holder through which instrumented code reaches the runtime.
+
+    The instrumented module namespace closes over one handle; swapping the
+    installed runtime lets many measurements reuse the same compiled code.
+    """
+
+    def __init__(self) -> None:
+        self._runtime: Optional[Runtime] = None
+
+    def install(self, runtime: Runtime) -> None:
+        self._runtime = runtime
+
+    @property
+    def runtime(self) -> Runtime:
+        if self._runtime is None:
+            raise RuntimeError("no Runtime installed on this handle")
+        return self._runtime
+
+    # The instrumented code calls these directly.
+    def cmp(self, conditional: int, op: str, lhs, rhs) -> bool:
+        return self.runtime.cmp(conditional, op, lhs, rhs)
+
+    def truth(self, conditional: int, value) -> bool:
+        return self.runtime.truth(conditional, value)
+
+    def resolve(self, conditional: int, mode: str, outcome) -> bool:
+        return self.runtime.resolve(conditional, mode, outcome)
+
+
+def _evaluate(op: str, lhs, rhs) -> bool:
+    if op == "==":
+        return lhs == rhs
+    if op == "!=":
+        return lhs != rhs
+    if op == "<":
+        return lhs < rhs
+    if op == "<=":
+        return lhs <= rhs
+    if op == ">":
+        return lhs > rhs
+    if op == ">=":
+        return lhs >= rhs
+    raise ValueError(f"unsupported comparison operator {op!r}")
+
+
+def _compose(
+    mode: str, parts: list[tuple[Optional[float], Optional[float]]]
+) -> tuple[Optional[float], Optional[float]]:
+    """Compose sub-comparison distances into distances for the whole test.
+
+    For ``A and B`` the distance to truth adds the evaluated parts' distances
+    (all must hold) while the distance to falsity is the smallest part
+    distance (falsifying any part suffices); ``or`` is dual.  Short-circuited
+    parts simply do not contribute, which matches the information available
+    dynamically.
+    """
+    usable = [(t, f) for t, f in parts if t is not None and f is not None]
+    if not usable:
+        return None, None
+    if mode == "single" or len(usable) == 1:
+        return usable[0]
+    trues = [t for t, _ in usable]
+    falses = [f for _, f in usable]
+    if mode == "and":
+        return sum(trues), min(falses)
+    if mode == "or":
+        return min(trues), sum(falses)
+    raise ValueError(f"unknown composition mode {mode!r}")

@@ -1,0 +1,62 @@
+"""Input-domain descriptions for programs under test.
+
+The paper restricts the inputs of ``FOO`` to floating-point scalars (and
+pointers to them, which are reduced to scalars, Sect. 5.3).  A
+:class:`ProgramSignature` captures the arity of the Python function under
+test plus optional sampling bounds used by random starting points and the
+baseline tools.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ProgramSignature:
+    """Describes the floating-point input domain of a program under test.
+
+    Attributes:
+        name: Human-readable name of the entry function.
+        arity: Number of ``double`` input parameters.
+        low: Per-dimension lower bounds used when sampling random inputs.
+        high: Per-dimension upper bounds used when sampling random inputs.
+    """
+
+    name: str
+    arity: int
+    low: tuple[float, ...] = field(default=())
+    high: tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.arity < 1:
+            raise ValueError(f"arity must be >= 1, got {self.arity}")
+        low = self.low or tuple([-1.0e3] * self.arity)
+        high = self.high or tuple([1.0e3] * self.arity)
+        if len(low) != self.arity or len(high) != self.arity:
+            raise ValueError("bounds must match arity")
+        object.__setattr__(self, "low", tuple(float(v) for v in low))
+        object.__setattr__(self, "high", tuple(float(v) for v in high))
+
+    @classmethod
+    def from_callable(
+        cls,
+        func,
+        low: tuple[float, ...] | None = None,
+        high: tuple[float, ...] | None = None,
+    ) -> "ProgramSignature":
+        """Derive a signature from a Python callable's positional parameters."""
+        params = inspect.signature(func).parameters
+        arity = sum(
+            1
+            for p in params.values()
+            if p.kind
+            in (inspect.Parameter.POSITIONAL_ONLY, inspect.Parameter.POSITIONAL_OR_KEYWORD)
+        )
+        return cls(
+            name=getattr(func, "__name__", "anonymous"),
+            arity=arity,
+            low=low or (),
+            high=high or (),
+        )

@@ -1,0 +1,37 @@
+"""Unconstrained-programming backends (Sect. 2 of the paper).
+
+CoverMe treats the optimization backend as a black box: any algorithm that
+searches ``R^n`` for minimum points of the representing function will do.
+This package provides:
+
+* local optimization: :mod:`repro.optimize.local` (Powell's method -- the
+  paper's ``LM`` -- plus Nelder-Mead and compass search);
+* global optimization: :func:`repro.optimize.basinhopping.basinhopping`, our
+  implementation of the MCMC basin-hopping procedure of Algorithm 1
+  (lines 24-34);
+* :mod:`repro.optimize.scipy_backend`, an adapter around SciPy's
+  ``basinhopping`` reproducing the paper's exact backend configuration.
+"""
+
+from repro.optimize.basinhopping import basinhopping
+from repro.optimize.local import (
+    compass_search,
+    get_local_minimizer,
+    nelder_mead,
+    powell,
+)
+from repro.optimize.mcmc import metropolis_accept, propose_perturbation
+from repro.optimize.result import OptimizeResult
+from repro.optimize.scipy_backend import scipy_basinhopping
+
+__all__ = [
+    "OptimizeResult",
+    "basinhopping",
+    "compass_search",
+    "get_local_minimizer",
+    "metropolis_accept",
+    "nelder_mead",
+    "powell",
+    "propose_perturbation",
+    "scipy_basinhopping",
+]

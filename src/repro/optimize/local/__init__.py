@@ -1,0 +1,45 @@
+"""Local optimization algorithms (the ``LM`` of Algorithm 1).
+
+All minimizers share the same signature::
+
+    minimize(func, x0, max_iterations=..., **options) -> OptimizeResult
+
+and are registered by name so the CoverMe configuration can select them
+(``local_minimizer="powell"`` reproduces the paper's setting).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.optimize.local.compass import compass_search
+from repro.optimize.local.line_search import bracket_minimum, golden_section, minimize_scalar
+from repro.optimize.local.nelder_mead import nelder_mead
+from repro.optimize.local.powell import powell
+
+_REGISTRY: dict[str, Callable] = {
+    "powell": powell,
+    "nelder-mead": nelder_mead,
+    "nelder_mead": nelder_mead,
+    "compass": compass_search,
+}
+
+
+def get_local_minimizer(name: str) -> Callable:
+    """Look up a local minimizer by name (case-insensitive)."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(set(_REGISTRY)))
+        raise ValueError(f"unknown local minimizer {name!r}; known: {known}") from None
+
+
+__all__ = [
+    "bracket_minimum",
+    "compass_search",
+    "get_local_minimizer",
+    "golden_section",
+    "minimize_scalar",
+    "nelder_mead",
+    "powell",
+]

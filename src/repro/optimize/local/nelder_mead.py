@@ -1,0 +1,87 @@
+"""Nelder-Mead simplex minimization (alternative local minimizer)."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.optimize.result import OptimizeResult
+
+
+def nelder_mead(
+    func: Callable,
+    x0,
+    max_iterations: int = 200,
+    tol: float = 1e-12,
+    initial_size: float = 1.0,
+    **_options,
+) -> OptimizeResult:
+    """Minimize ``func`` with the Nelder-Mead simplex algorithm.
+
+    Uses the standard reflection/expansion/contraction/shrink coefficients
+    (1, 2, 0.5, 0.5).  NaN objective values are treated as ``+inf``.
+    """
+    x0 = np.atleast_1d(np.asarray(x0, dtype=float))
+    n = x0.size
+    nfev = 0
+
+    def evaluate(point: np.ndarray) -> float:
+        nonlocal nfev
+        nfev += 1
+        value = func(point)
+        return math.inf if math.isnan(value) else float(value)
+
+    # Initial simplex: x0 plus a perturbation along each axis.
+    simplex = [x0.copy()]
+    for i in range(n):
+        vertex = x0.copy()
+        vertex[i] += initial_size if vertex[i] == 0.0 else 0.25 * abs(vertex[i]) + initial_size
+        simplex.append(vertex)
+    values = [evaluate(v) for v in simplex]
+
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        order = np.argsort(values)
+        simplex = [simplex[i] for i in order]
+        values = [values[i] for i in order]
+        best, worst = values[0], values[-1]
+        if best == 0.0:
+            break
+        if abs(worst - best) <= tol * (abs(best) + tol):
+            break
+        centroid = np.mean(simplex[:-1], axis=0)
+        reflected = centroid + (centroid - simplex[-1])
+        f_reflected = evaluate(reflected)
+        if f_reflected < values[0]:
+            expanded = centroid + 2.0 * (centroid - simplex[-1])
+            f_expanded = evaluate(expanded)
+            if f_expanded < f_reflected:
+                simplex[-1], values[-1] = expanded, f_expanded
+            else:
+                simplex[-1], values[-1] = reflected, f_reflected
+        elif f_reflected < values[-2]:
+            simplex[-1], values[-1] = reflected, f_reflected
+        else:
+            contracted = centroid + 0.5 * (simplex[-1] - centroid)
+            f_contracted = evaluate(contracted)
+            if f_contracted < values[-1]:
+                simplex[-1], values[-1] = contracted, f_contracted
+            else:
+                # Shrink towards the best vertex.
+                for i in range(1, len(simplex)):
+                    simplex[i] = simplex[0] + 0.5 * (simplex[i] - simplex[0])
+                    values[i] = evaluate(simplex[i])
+
+    order = np.argsort(values)
+    best_x = simplex[order[0]]
+    best_f = values[order[0]]
+    return OptimizeResult(
+        x=best_x,
+        fun=best_f,
+        nfev=nfev,
+        nit=iterations,
+        success=True,
+        message="nelder-mead finished",
+    )

@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import CoverMeConfig
+from repro.instrument.program import instrument
+from tests import sample_programs as sp
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def paper_foo_program():
+    return instrument(sp.paper_foo)
+
+
+@pytest.fixture
+def nested_program():
+    return instrument(sp.nested_branches)
+
+
+@pytest.fixture
+def smoke_config():
+    return CoverMeConfig.smoke()

@@ -1,0 +1,126 @@
+"""Tests for the baseline tools: Rand, the AFL-style fuzzer, the Austin-style AVM."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.afl import AFLFuzzer, _bucket
+from repro.baselines.austin import AustinTester, _normalize
+from repro.baselines.harness import Budget, clip_inputs, run_tool
+from repro.baselines.random_testing import RandomTester
+from repro.instrument.program import instrument
+from tests import sample_programs as sp
+
+
+@pytest.fixture(scope="module")
+def simple_program():
+    return instrument(sp.single_branch)
+
+
+@pytest.fixture(scope="module")
+def nested_two_arg_program():
+    return instrument(sp.nested_branches)
+
+
+@pytest.fixture(scope="module")
+def equality_program():
+    return instrument(sp.equality_chain)
+
+
+class TestBudget:
+    def test_execution_budget(self):
+        clock = Budget(max_executions=3).start()
+        assert not clock.exhausted()
+        clock.consume(3)
+        assert clock.exhausted()
+
+    def test_time_budget(self):
+        clock = Budget(max_seconds=0.0).start()
+        assert clock.exhausted()
+
+    def test_unlimited_budget(self):
+        clock = Budget().start()
+        clock.consume(10_000)
+        assert not clock.exhausted()
+
+    def test_clip_inputs(self):
+        assert clip_inputs([(1, 2), (3, 4), (5, 6)], 2) == [(1.0, 2.0), (3.0, 4.0)]
+
+
+class TestRandomTester:
+    def test_covers_wide_branches(self, simple_program):
+        tool = RandomTester(seed=0)
+        inputs = tool.generate(simple_program, Budget(max_executions=200))
+        assert inputs
+        summary = run_tool(tool, simple_program, Budget(max_executions=200))
+        assert summary.branch_coverage_percent == 100.0
+
+    def test_misses_equality_branches(self, equality_program):
+        """Random sampling practically never hits x == 1024.0 exactly."""
+        summary = run_tool(RandomTester(seed=1), equality_program, Budget(max_executions=2000))
+        assert summary.branch_coverage_percent < 100.0
+
+    def test_respects_budget(self, nested_two_arg_program):
+        tool = RandomTester(seed=2)
+        clock_budget = Budget(max_executions=50)
+        tool.generate(nested_two_arg_program, clock_budget)
+        summary = run_tool(tool, nested_two_arg_program, Budget(max_executions=50))
+        assert summary.executions <= 60  # replay of kept inputs only
+
+
+class TestAFL:
+    def test_bucketing_is_monotone(self):
+        values = [_bucket(n) for n in (1, 2, 3, 4, 8, 16, 32, 128, 1000)]
+        assert values == sorted(values)
+
+    def test_finds_bit_pattern_branches(self, simple_program):
+        summary = run_tool(AFLFuzzer(seed=3), simple_program, Budget(max_executions=2000))
+        assert summary.branch_coverage_percent == 100.0
+
+    def test_beats_random_on_special_values(self):
+        """AFL's interesting-value mutations reach inf/NaN-guarded branches."""
+        program = instrument(sp.early_return)  # needs a NaN and a >= 100 input
+        afl = run_tool(AFLFuzzer(seed=4), program, Budget(max_executions=3000))
+        rand = run_tool(RandomTester(seed=4, low=-1.0, high=1.0), program, Budget(max_executions=3000))
+        assert afl.branch_coverage_percent >= rand.branch_coverage_percent
+        assert afl.branch_coverage_percent == 100.0
+
+    def test_keeps_only_coverage_increasing_inputs(self, nested_two_arg_program):
+        tool = AFLFuzzer(seed=5)
+        inputs = tool.generate(nested_two_arg_program, Budget(max_executions=1500))
+        assert 0 < len(inputs) <= nested_two_arg_program.n_branches
+
+
+class TestAustin:
+    def test_normalization_bounds(self):
+        assert _normalize(0.0) == 0.0
+        assert 0.0 < _normalize(10.0) < 1.0
+
+    def test_covers_inequality_branches(self, nested_two_arg_program):
+        summary = run_tool(AustinTester(seed=6), nested_two_arg_program, Budget(max_executions=4000))
+        assert summary.branch_coverage_percent >= 75.0
+
+    def test_guided_search_solves_threshold(self):
+        program = instrument(sp.early_return)
+        summary = run_tool(AustinTester(seed=7), program, Budget(max_executions=4000))
+        # The x >= 100 branch requires walking uphill from the seed values.
+        assert summary.branch_coverage_percent >= 75.0
+
+    def test_respects_budget(self, equality_program):
+        budget = Budget(max_executions=300)
+        tool = AustinTester(seed=8)
+        tool.generate(equality_program, budget)
+        # No assertion on coverage: just ensure the run terminates quickly.
+
+
+class TestToolSummaries:
+    def test_run_tool_reports_lines_when_asked(self, simple_program):
+        summary = run_tool(
+            RandomTester(seed=9), simple_program, Budget(max_executions=100), original=sp.single_branch
+        )
+        assert summary.n_lines > 0
+        assert 0.0 <= summary.line_coverage_percent <= 100.0
+
+    def test_zero_branch_program_reports_full_coverage(self):
+        summary = run_tool(RandomTester(seed=10), instrument(sp.single_branch), Budget(max_executions=10))
+        assert 0.0 <= summary.branch_coverage_percent <= 100.0

@@ -1,0 +1,130 @@
+"""Unit and property tests for the Def. 4.1 branch distances."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import assume, given, strategies as st
+
+from repro.core.branch_distance import (
+    DEFAULT_EPSILON,
+    branch_distance,
+    distance_pair,
+    negate_op,
+)
+
+OPS = ["==", "!=", "<", "<=", ">", ">="]
+
+finite_doubles = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+def holds(op: str, a: float, b: float) -> bool:
+    return {
+        "==": a == b,
+        "!=": a != b,
+        "<": a < b,
+        "<=": a <= b,
+        ">": a > b,
+        ">=": a >= b,
+    }[op]
+
+
+class TestDefinition:
+    def test_equality_is_squared_gap(self):
+        assert branch_distance("==", 3.0, 5.0) == pytest.approx(4.0)
+        assert branch_distance("==", 5.0, 5.0) == 0.0
+
+    def test_le_zero_when_satisfied(self):
+        assert branch_distance("<=", 1.0, 2.0) == 0.0
+        assert branch_distance("<=", 2.0, 2.0) == 0.0
+        assert branch_distance("<=", 3.0, 2.0) == pytest.approx(1.0)
+
+    def test_lt_adds_epsilon(self):
+        assert branch_distance("<", 1.0, 2.0) == 0.0
+        assert branch_distance("<", 2.0, 2.0) == pytest.approx(DEFAULT_EPSILON)
+        assert branch_distance("<", 3.0, 2.0) == pytest.approx(1.0 + DEFAULT_EPSILON)
+
+    def test_ne_is_epsilon_when_equal(self):
+        assert branch_distance("!=", 2.0, 3.0) == 0.0
+        assert branch_distance("!=", 3.0, 3.0) == pytest.approx(DEFAULT_EPSILON)
+
+    def test_ge_gt_are_mirrors(self):
+        assert branch_distance(">=", 5.0, 3.0) == branch_distance("<=", 3.0, 5.0)
+        assert branch_distance(">", 3.0, 5.0) == branch_distance("<", 5.0, 3.0)
+
+    def test_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            branch_distance("===", 1.0, 2.0)
+
+    def test_rejects_non_positive_epsilon(self):
+        with pytest.raises(ValueError):
+            branch_distance("==", 1.0, 2.0, epsilon=0.0)
+
+    def test_overflow_is_clamped_finite(self):
+        value = branch_distance("==", 1.0e308, -1.0e308)
+        assert math.isfinite(value)
+        assert value > 0.0
+
+
+class TestNegation:
+    @pytest.mark.parametrize("op", OPS)
+    def test_negation_is_involutive(self, op):
+        assert negate_op(negate_op(op)) == op
+
+    def test_negation_table(self):
+        assert negate_op("==") == "!="
+        assert negate_op("<") == ">="
+        assert negate_op("<=") == ">"
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            negate_op("~")
+
+
+def _squared_gap_underflows(a: float, b: float) -> bool:
+    """True when ``(a-b)**2`` underflows to zero although ``a != b``.
+
+    The paper's Def. 4.1 squares the operand gap, so for operands closer than
+    about ``2**-538`` the distance degenerates to an exact zero.  Remark 6.1
+    lists this floating-point inaccuracy as one cause of incompleteness; the
+    property tests therefore exclude that regime and a dedicated test below
+    documents it.
+    """
+    gap = a - b
+    return gap != 0.0 and gap * gap == 0.0
+
+
+class TestEquationEight:
+    """Property (8): d >= 0 and d == 0 iff the comparison holds."""
+
+    @given(op=st.sampled_from(OPS), a=finite_doubles, b=finite_doubles)
+    def test_non_negative(self, op, a, b):
+        assert branch_distance(op, a, b) >= 0.0
+
+    @given(op=st.sampled_from(OPS), a=finite_doubles, b=finite_doubles)
+    def test_zero_iff_satisfied(self, op, a, b):
+        assume(not _squared_gap_underflows(a, b))
+        distance = branch_distance(op, a, b)
+        assert (distance == 0.0) == holds(op, a, b)
+
+    @given(op=st.sampled_from(OPS), a=finite_doubles, b=finite_doubles)
+    def test_pair_has_exactly_one_zero(self, op, a, b):
+        assume(not _squared_gap_underflows(a, b))
+        d_true, d_false = distance_pair(op, a, b)
+        assert (d_true == 0.0) != (d_false == 0.0)
+
+    def test_underflow_caveat_of_remark_6_1(self):
+        """Operands closer than ~2**-538 make the ``==`` distance degenerate."""
+        a, b = 0.0, 1.0e-300
+        assert a != b
+        assert branch_distance("==", a, b) == 0.0  # squared gap underflows
+
+    @given(a=finite_doubles, b=finite_doubles, c=finite_doubles)
+    def test_equality_distance_monotone_in_gap(self, a, b, c):
+        """A larger |a-b| gap never yields a smaller ``==`` distance."""
+        gap_small = min(abs(a - b), abs(a - c))
+        gap_large = max(abs(a - b), abs(a - c))
+        d_small = branch_distance("==", gap_small, 0.0)
+        d_large = branch_distance("==", gap_large, 0.0)
+        assert d_small <= d_large

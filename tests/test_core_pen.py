@@ -1,0 +1,40 @@
+"""Tests for the Def. 4.2 penalty policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pen import CoverMePenalty
+from repro.core.saturation import SaturationTracker
+from repro.instrument.runtime import BranchId
+
+
+class TestPenaltyCases:
+    @pytest.fixture
+    def tracker(self, paper_foo_program):
+        return SaturationTracker(paper_foo_program)
+
+    def test_case_a_neither_saturated_returns_zero(self, tracker):
+        pen = CoverMePenalty(tracker)
+        assert pen.penalty(0, 3.0, 5.0, True, 1.0) == 0.0
+
+    def test_case_b_true_unsaturated_returns_distance_to_true(self, tracker):
+        tracker.mark_infeasible(BranchId(0, False))  # false arm saturated
+        pen = CoverMePenalty(tracker)
+        assert pen.penalty(0, 7.0, 0.0, False, 1.0) == 7.0
+
+    def test_case_b_false_unsaturated_returns_distance_to_false(self, tracker):
+        tracker.mark_infeasible(BranchId(0, True))
+        pen = CoverMePenalty(tracker)
+        assert pen.penalty(0, 0.0, 9.0, True, 1.0) == 9.0
+
+    def test_case_c_both_saturated_keeps_previous_r(self, tracker):
+        tracker.mark_infeasible(BranchId(0, True))
+        tracker.mark_infeasible(BranchId(0, False))
+        pen = CoverMePenalty(tracker)
+        assert pen.penalty(0, 4.0, 4.0, True, 0.125) == 0.125
+
+    def test_missing_distance_keeps_previous_r(self, tracker):
+        tracker.mark_infeasible(BranchId(0, False))
+        pen = CoverMePenalty(tracker)
+        assert pen.penalty(0, None, None, True, 0.5) == 0.5

@@ -1,0 +1,106 @@
+"""Tests for the representing function (conditions C1/C2, Thm. 4.3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.representing import RepresentingFunction
+from repro.core.saturation import SaturationTracker
+from repro.instrument.program import instrument
+from repro.instrument.runtime import BranchId, Runtime
+from tests import sample_programs as sp
+
+moderate_doubles = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1.0e9, max_value=1.0e9
+)
+
+
+def fresh(func):
+    program = instrument(func)
+    tracker = SaturationTracker(program)
+    return program, tracker, RepresentingFunction(program, tracker)
+
+
+class TestConditionC1:
+    """C1: FOO_R(x) >= 0 for all x."""
+
+    @given(x=moderate_doubles)
+    @settings(max_examples=200, deadline=None)
+    def test_non_negative_everywhere(self, x):
+        _, _, foo_r = fresh(sp.paper_foo)
+        assert foo_r([x]) >= 0.0
+
+    @given(x=moderate_doubles, y=moderate_doubles)
+    @settings(max_examples=100, deadline=None)
+    def test_non_negative_with_partial_saturation(self, x, y):
+        program, tracker, foo_r = fresh(sp.nested_branches)
+        _, _, record = program.run((1.0, 1.0), runtime=Runtime())
+        tracker.add_execution(record)
+        assert foo_r([x, y]) >= 0.0
+
+
+class TestConditionC2:
+    """C2: FOO_R(x) == 0 iff x saturates a new branch (Thm. 4.3)."""
+
+    def test_zero_when_nothing_saturated(self):
+        _, _, foo_r = fresh(sp.paper_foo)
+        # With an empty saturation set, pen returns 0 at the first conditional.
+        assert foo_r([0.7]) == 0.0
+        assert foo_r([123.0]) == 0.0
+
+    def test_positive_once_everything_saturated(self):
+        program, tracker, foo_r = fresh(sp.paper_foo)
+        for x in (0.7, 1.0, 1.1, -5.2):
+            _, _, record = program.run((x,), runtime=Runtime())
+            tracker.add_execution(record)
+        assert tracker.all_saturated()
+        for x in (-3.0, 0.0, 1.0, 2.0, 77.0):
+            assert foo_r([x]) > 0.0
+
+    @given(x=moderate_doubles)
+    @settings(max_examples=150, deadline=None)
+    def test_zero_iff_new_branch_saturated(self, x):
+        """The formal statement of Thm. 4.3, checked pointwise."""
+        program, tracker, foo_r = fresh(sp.paper_foo)
+        # Saturate {0T, 1F} by executing x = 0.7 (covers 0T,1F; 1F saturated,
+        # 0T not since its descendant 1T is uncovered).
+        _, _, record = program.run((0.7,), runtime=Runtime())
+        tracker.add_execution(record)
+        before = set(tracker.saturated)
+        value = foo_r([x])
+        # Recompute what saturation would be if x were added.
+        _, _, record_x = program.run((x,), runtime=Runtime())
+        probe = SaturationTracker(program)
+        probe.add_covered(set(tracker.covered))
+        probe.add_execution(record_x)
+        saturates_new = set(probe.saturated) - before != set()
+        assert (value == 0.0) == saturates_new
+
+    def test_reflects_paper_table1_shapes(self):
+        """Row 2 of Table 1: with only 1F saturated, FOO_R(x) = ((x+1)^2-4)^2 for x<=1."""
+        program, tracker, foo_r = fresh(sp.paper_foo)
+        _, _, record = program.run((0.7,), runtime=Runtime())
+        tracker.add_execution(record)
+        assert foo_r([-3.0]) == pytest.approx(0.0)  # (x+1)^2 == 4 at x = -3
+        assert foo_r([2.0]) == pytest.approx(0.0)  # x > 1 path: (x^2-4)^2 = 0
+        assert foo_r([0.0]) == pytest.approx(9.0)  # ((0+1)^2-4)^2 = 9
+
+
+class TestInterface:
+    def test_scalar_and_vector_inputs_agree(self):
+        _, _, foo_r = fresh(sp.paper_foo)
+        assert foo_r(0.3) == foo_r([0.3])
+
+    def test_wrong_arity_rejected(self):
+        _, _, foo_r = fresh(sp.nested_branches)
+        with pytest.raises(ValueError):
+            foo_r([1.0])
+
+    def test_evaluation_counter_and_record(self):
+        _, _, foo_r = fresh(sp.paper_foo)
+        foo_r([0.1])
+        value, record = foo_r.evaluate_with_record([5.0])
+        assert foo_r.evaluations == 2
+        assert record.covered
+        assert value == foo_r.last_value

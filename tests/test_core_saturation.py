@@ -1,0 +1,78 @@
+"""Tests for saturation tracking (Def. 3.2, Lemma 3.3)."""
+
+from __future__ import annotations
+
+from repro.core.saturation import SaturationTracker
+from repro.instrument.program import instrument
+from repro.instrument.runtime import BranchId, Runtime
+from tests import sample_programs as sp
+
+
+def record_for(program, args):
+    _, _, record = program.run(args, runtime=Runtime())
+    return record
+
+
+class TestPaperScenario:
+    """The walk-through of Def. 3.2: covering {0T, 0F, 1F} saturates {0F, 1F}."""
+
+    def test_partial_coverage_partial_saturation(self, nested_program):
+        tracker = SaturationTracker(nested_program)
+        # Program: if x>0: (if y>0: 1 else 2)  else: (if y==5: 3 else 4)
+        tracker.add_covered({BranchId(0, True), BranchId(0, False), BranchId(1, False)})
+        # 1F has no descendants -> saturated; 0T's descendant 1T is uncovered.
+        assert BranchId(1, False) in tracker.saturated
+        assert BranchId(0, True) not in tracker.saturated
+        # 0F's descendants (conditional 2) are uncovered either.
+        assert BranchId(0, False) not in tracker.saturated
+
+    def test_full_coverage_saturates_everything(self, nested_program):
+        tracker = SaturationTracker(nested_program)
+        for args in [(1.0, 1.0), (1.0, -1.0), (-1.0, 5.0), (-1.0, 0.0)]:
+            tracker.add_execution(record_for(nested_program, args))
+        assert tracker.all_covered()
+        assert tracker.all_saturated()
+        assert tracker.branch_coverage() == 1.0
+
+
+class TestIncrementalUpdates:
+    def test_add_execution_returns_new_branches(self, paper_foo_program):
+        tracker = SaturationTracker(paper_foo_program)
+        new = tracker.add_execution(record_for(paper_foo_program, (0.7,)))
+        assert new == {BranchId(0, True), BranchId(1, False)}
+        again = tracker.add_execution(record_for(paper_foo_program, (0.7,)))
+        assert again == set()
+
+    def test_coverage_fraction(self, paper_foo_program):
+        tracker = SaturationTracker(paper_foo_program)
+        tracker.add_execution(record_for(paper_foo_program, (0.7,)))
+        assert tracker.branch_coverage() == 0.5
+        assert tracker.n_covered == 2
+        assert tracker.uncovered() == frozenset({BranchId(0, False), BranchId(1, True)})
+
+    def test_lemma_3_3_saturation_iff_coverage(self, paper_foo_program):
+        """Saturating all branches is equivalent to covering all branches."""
+        tracker = SaturationTracker(paper_foo_program)
+        for x in (0.7, 1.0, 1.1, -5.2):
+            tracker.add_execution(record_for(paper_foo_program, (x,)))
+        assert tracker.all_covered() == tracker.all_saturated()
+        assert tracker.all_saturated()
+
+
+class TestInfeasibleMarks:
+    def test_infeasible_counts_for_saturation_not_coverage(self, paper_foo_program):
+        tracker = SaturationTracker(paper_foo_program)
+        tracker.add_execution(record_for(paper_foo_program, (0.7,)))
+        tracker.add_execution(record_for(paper_foo_program, (5.0,)))
+        # Only 1T remains; pretend the heuristic deems it infeasible.
+        assert not tracker.all_saturated()
+        tracker.mark_infeasible(BranchId(1, True))
+        assert tracker.all_saturated()
+        assert not tracker.all_covered()
+        assert tracker.branch_coverage() == 0.75
+
+    def test_marking_twice_is_idempotent(self, paper_foo_program):
+        tracker = SaturationTracker(paper_foo_program)
+        tracker.mark_infeasible(BranchId(1, True))
+        tracker.mark_infeasible(BranchId(1, True))
+        assert tracker.infeasible == {BranchId(1, True)}

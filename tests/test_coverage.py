@@ -1,0 +1,82 @@
+"""Tests for the Gcov substrate: branch and line coverage measurement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coverage.branch import BranchCoverage
+from repro.coverage.gcov import GcovReport, measure_coverage
+from repro.coverage.line import LineCoverage, executable_lines
+from repro.instrument.program import instrument
+from repro.instrument.runtime import BranchId
+from tests import sample_programs as sp
+
+
+class TestBranchCoverage:
+    def test_accumulates_over_runs(self, paper_foo_program):
+        coverage = BranchCoverage(paper_foo_program)
+        new = coverage.run((0.7,))
+        assert new == {BranchId(0, True), BranchId(1, False)}
+        assert coverage.percent == 50.0
+        coverage.run((2.0,))  # x > 1 and x*x == 4: covers 0F and 1T
+        assert coverage.percent == 100.0
+        assert coverage.is_complete()
+        assert coverage.uncovered() == frozenset()
+
+    def test_run_all_counts_executions(self, paper_foo_program):
+        coverage = BranchCoverage(paper_foo_program)
+        coverage.run_all([(0.7,), (5.0,), (1.0,)])
+        assert coverage.executions == 3
+
+    def test_fresh_tracker_starts_at_zero(self):
+        program = instrument(sp.helper_goo)
+        coverage = BranchCoverage(program)
+        assert coverage.percent == 0.0
+        coverage.run((0.0,))
+        assert coverage.n_covered == 1
+
+
+class TestLineCoverage:
+    def test_executable_lines_excludes_def_line(self):
+        lines = executable_lines(sp.paper_foo)
+        assert lines
+        assert sp.paper_foo.__code__.co_firstlineno not in lines
+
+    def test_partial_then_full(self):
+        coverage = LineCoverage(sp.paper_foo)
+        coverage.run((0.7,))
+        partial = coverage.percent
+        assert 0.0 < partial < 100.0
+        coverage.run((5.0,))
+        coverage.run((1.0,))
+        assert coverage.percent == 100.0
+
+    def test_exceptions_do_not_break_measurement(self):
+        coverage = LineCoverage(sp.raises_for_small)
+        coverage.run((0.5,))
+        assert coverage.n_covered >= 1
+
+    def test_run_all(self):
+        coverage = LineCoverage(sp.nested_branches)
+        coverage.run_all([(1.0, 1.0), (-1.0, 5.0)])
+        assert coverage.executions == 2
+
+
+class TestGcovReport:
+    def test_measure_coverage_combines_branch_and_line(self, paper_foo_program):
+        report = measure_coverage(
+            paper_foo_program, [(0.7,), (5.0,), (1.0,)], original=sp.paper_foo
+        )
+        assert report.branch_percent == 100.0
+        assert report.line_percent == 100.0
+        assert report.executions == 3
+        assert "paper_foo" in report.format_row()
+
+    def test_zero_denominators(self):
+        report = GcovReport("p", 0, 0, 0, 0, 0)
+        assert report.branch_percent == 100.0
+        assert report.line_percent == 100.0
+
+    def test_without_original_skips_lines(self, paper_foo_program):
+        report = measure_coverage(paper_foo_program, [(0.7,)])
+        assert report.n_lines == 0

@@ -1,0 +1,45 @@
+"""The example scripts must at least compile; the quick ones must run."""
+
+from __future__ import annotations
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamplesCompile:
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=[p.name for p in ALL_EXAMPLES])
+    def test_compiles(self, path, tmp_path):
+        py_compile.compile(str(path), cfile=str(tmp_path / (path.name + "c")), doraise=True)
+
+    def test_expected_examples_present(self):
+        names = {p.name for p in ALL_EXAMPLES}
+        assert {"quickstart.py", "fdlibm_tanh.py", "tool_comparison.py", "infeasible_branches.py"} <= names
+
+
+class TestQuickExamplesRun:
+    def test_quickstart_runs(self):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "branch coverage" in completed.stdout
+
+    def test_tool_comparison_runs_on_one_case(self):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "tool_comparison.py"), "1"],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "CoverMe" in completed.stdout

@@ -1,0 +1,137 @@
+"""Accuracy tests for the Fdlibm port against Python's ``math`` module.
+
+Accuracy is not what CoverMe exercises (only the branch structure matters for
+coverage), but the ports are expected to compute sensible values: these tests
+pin that down for the functions whose port keeps the original's numerics.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fdlibm import suite
+
+REL_TOL = 1e-4
+
+
+def close(a: float, b: float, rel: float = REL_TOL) -> bool:
+    if math.isnan(a) or math.isnan(b):
+        return math.isnan(a) and math.isnan(b)
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    return abs(a - b) <= rel * max(abs(a), abs(b), 1.0e-12)
+
+
+UNARY_CASES = [
+    ("ieee754_exp", math.exp, [-700.0, -5.0, -0.1, 0.0, 0.1, 1.0, 10.0, 700.0]),
+    ("ieee754_log", math.log, [1e-300, 0.1, 1.0, 2.718281828, 1e10, 1e300]),
+    ("ieee754_log10", math.log10, [1e-10, 0.5, 1.0, 1000.0, 1e100]),
+    ("expm1", math.expm1, [-50.0, -1.0, -1e-10, 0.0, 1e-10, 1.0, 30.0]),
+    ("log1p", math.log1p, [-0.9, -1e-10, 0.0, 1e-10, 1.0, 1e15]),
+    ("iddd754_sqrt", math.sqrt, [0.0, 1e-308, 0.25, 2.0, 1e10, 1e300]),
+    ("cbrt", lambda v: math.copysign(abs(v) ** (1.0 / 3.0), v), [-27.0, -0.125, 0.008, 8.0, 1e30]),
+    ("sin", math.sin, [-10.0, -1.0, 0.0, 0.5, 1.570796, 100.0, 1e6]),
+    ("cos", math.cos, [-10.0, -1.0, 0.0, 0.5, 3.14159, 100.0]),
+    ("tan", math.tan, [-1.0, 0.0, 0.5, 1.0, 10.0]),
+    ("tanh", math.tanh, [-30.0, -1.0, 0.0, 1e-3, 1.0, 30.0]),
+    ("ieee754_sinh", math.sinh, [-5.0, -0.25, 0.0, 0.25, 5.0, 300.0]),
+    ("ieee754_cosh", math.cosh, [-5.0, -0.25, 0.0, 0.25, 5.0, 300.0]),
+    ("asinh", math.asinh, [-100.0, -1.0, 0.0, 1e-3, 1.0, 1e10]),
+    ("ieee754_acosh", math.acosh, [1.0, 1.5, 2.0, 100.0, 1e10]),
+    ("ieee754_atanh", math.atanh, [-0.99, -0.5, 0.0, 0.5, 0.99]),
+    ("atan", math.atan, [-1e10, -2.0, -0.1, 0.0, 0.1, 2.0, 1e10]),
+    ("ieee754_asin", math.asin, [-1.0, -0.99, -0.3, 0.0, 0.3, 0.99, 1.0]),
+    ("ieee754_acos", math.acos, [-1.0, -0.99, -0.3, 0.0, 0.3, 0.99, 1.0]),
+    ("erf", math.erf, [-5.0, -1.0, -0.1, 0.0, 0.1, 0.5, 1.0, 2.0, 6.5]),
+    ("erfc", math.erfc, [-6.5, -1.0, 0.0, 0.5, 1.0, 2.0, 10.0, 27.0]),
+    ("floor", math.floor, [-2.5, -0.5, 0.0, 0.5, 2.5, 1e20, 123456.789]),
+    ("ceil", math.ceil, [-2.5, -0.5, 0.0, 0.5, 2.5, 123456.789]),
+    ("logb", lambda v: float(math.frexp(v)[1] - 1), [0.5, 1.0, 3.0, 1e100, 1e-100]),
+]
+
+BINARY_CASES = [
+    ("ieee754_pow", math.pow, [(2.0, 10.0), (2.0, 0.5), (10.0, -3.0), (1.0001, 10000.0), (-2.0, 3.0), (-2.0, 4.0), (0.5, 700.0)]),
+    ("ieee754_fmod", math.fmod, [(5.5, 2.0), (-5.5, 2.0), (5.5, -2.0), (1e18, 3.1415), (0.25, 10.0)]),
+    ("ieee754_remainder", math.remainder, [(5.5, 2.0), (-5.5, 2.0), (13.0, 4.0), (1e10, 7.0)]),
+    ("ieee754_hypot", math.hypot, [(3.0, 4.0), (-3.0, 4.0), (1e200, 1e200), (1e-200, 1e-200), (0.0, 0.0)]),
+    ("ieee754_atan2", math.atan2, [(1.0, 1.0), (-1.0, 1.0), (1.0, -1.0), (-1.0, -1.0), (0.0, -2.0), (5.0, 0.0)]),
+    ("ieee754_scalb", lambda x, n: math.ldexp(x, int(n)), [(1.5, 10.0), (3.0, -20.0), (-2.0, 5.0)]),
+]
+
+
+class TestUnaryAccuracy:
+    @pytest.mark.parametrize("name,reference,points", UNARY_CASES, ids=[c[0] for c in UNARY_CASES])
+    def test_matches_math_module(self, name, reference, points):
+        entry = suite.get_case(name).entry
+        for x in points:
+            assert close(entry(x), reference(x)), f"{name}({x}): {entry(x)} vs {reference(x)}"
+
+
+class TestBinaryAccuracy:
+    @pytest.mark.parametrize("name,reference,points", BINARY_CASES, ids=[c[0] for c in BINARY_CASES])
+    def test_matches_math_module(self, name, reference, points):
+        entry = suite.get_case(name).entry
+        for x, y in points:
+            assert close(entry(x, y), reference(x, y)), f"{name}({x},{y})"
+
+
+class TestStructuredResults:
+    def test_modf_parts(self):
+        frac, integral = suite.get_case("modf").entry(3.75)
+        assert integral == 3.0
+        assert frac == pytest.approx(0.75)
+        frac, integral = suite.get_case("modf").entry(-3.75)
+        assert integral == -3.0
+        assert frac == pytest.approx(-0.75)
+
+    def test_rem_pio2_reduction(self):
+        n, y0, y1 = suite.get_case("ieee754_rem_pio2").entry(10.0)
+        assert math.isclose(n * (math.pi / 2.0) + y0 + y1, 10.0, rel_tol=1e-9)
+        assert abs(y0) <= math.pi / 4.0 + 1e-9
+
+    def test_ilogb_matches_frexp(self):
+        ilogb = suite.get_case("ilogb").entry
+        for x in (0.5, 1.0, 3.0, 1e100, 1e-100, 12345.678):
+            assert ilogb(x) == math.frexp(x)[1] - 1
+
+    def test_nextafter_matches_math(self):
+        nextafter = suite.get_case("nextafter").entry
+        for x, y in [(1.0, 2.0), (1.0, 0.0), (-1.0, 0.0), (0.0, 1.0), (0.0, -1.0), (5.0, 5.0)]:
+            assert nextafter(x, y) == math.nextafter(x, y)
+
+    def test_kernel_cos_small_range(self):
+        kernel_cos = suite.get_case("kernel_cos").entry
+        for x in (-0.7, -0.2, 0.0, 0.2, 0.7):
+            assert kernel_cos(x, 0.0) == pytest.approx(math.cos(x), rel=1e-9)
+
+
+class TestPropertyAccuracy:
+    @given(x=st.floats(min_value=-700.0, max_value=700.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_exp_positive_and_close(self, x):
+        value = suite.get_case("ieee754_exp").entry(x)
+        assert value >= 0.0
+        assert close(value, math.exp(x))
+
+    @given(x=st.floats(min_value=1e-300, max_value=1e300, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_log_exp_inverse(self, x):
+        log = suite.get_case("ieee754_log").entry
+        assert close(log(x), math.log(x))
+
+    @given(x=st.floats(min_value=-1e15, max_value=1e15, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_floor_le_x_le_ceil(self, x):
+        floor = suite.get_case("floor").entry(x)
+        ceil = suite.get_case("ceil").entry(x)
+        assert floor <= x <= ceil
+        assert ceil - floor in (0.0, 1.0)
+
+    @given(x=st.floats(min_value=-1e8, max_value=1e8, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_tanh_bounded(self, x):
+        value = suite.get_case("tanh").entry(x)
+        assert -1.0 <= value <= 1.0

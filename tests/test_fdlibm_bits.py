@@ -1,0 +1,89 @@
+"""Tests for the IEEE-754 word-access helpers used by the Fdlibm port."""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fdlibm import bits
+
+any_double = st.floats(allow_nan=False, width=64)
+any_bits = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+class TestWordAccess:
+    def test_known_patterns(self):
+        assert bits.high_word(1.0) == 0x3FF00000
+        assert bits.low_word(1.0) == 0
+        assert bits.high_word(float("inf")) == 0x7FF00000
+        assert bits.high_word(2.0**-27) == 0x3E400000
+        assert bits.high_word(-1.0) == 0xBFF00000 - 0x100000000
+
+    def test_high_word_is_signed(self):
+        assert bits.high_word(-1.0) < 0
+        assert bits.high_word(1.0) > 0
+
+    def test_paper_fig1_bit_twiddling(self):
+        """The tanh example: jx = high word, ix = jx & 0x7fffffff."""
+        x = -3.5
+        jx = bits.high_word(x)
+        ix = jx & 0x7FFFFFFF
+        assert jx < 0
+        assert ix == bits.high_word(3.5)
+
+    def test_abs_high_word(self):
+        assert bits.abs_high_word(-2.0) == bits.high_word(2.0)
+
+    def test_set_high_low_word(self):
+        x = 1.0
+        y = bits.set_high_word(x, 0x40000000)
+        assert y == 2.0
+        z = bits.set_low_word(2.0, 1)
+        assert z != 2.0
+        assert bits.low_word(z) == 1
+
+    def test_fabs_and_copysign(self):
+        assert bits.fabs(-3.25) == 3.25
+        assert bits.fabs(3.25) == 3.25
+        assert bits.copysign_bit(3.0, -1.0) == -3.0
+        assert bits.copysign_bit(-3.0, 1.0) == 3.0
+
+    def test_zero_signs(self):
+        assert bits.high_word(0.0) == 0
+        assert bits.high_word(-0.0) == -(2**31)
+
+
+class TestRoundTrips:
+    @given(x=any_double)
+    def test_words_round_trip(self, x):
+        hi, lo = bits.words(x)
+        assert bits.from_words(hi, lo) == x or (math.isnan(x) and math.isnan(bits.from_words(hi, lo)))
+
+    @given(x=any_double)
+    def test_bits_round_trip(self, x):
+        assert bits.bits_to_double(bits.double_to_bits(x)) == x
+
+    @given(raw=any_bits)
+    def test_reverse_round_trip(self, raw):
+        value = bits.bits_to_double(raw)
+        if math.isnan(value):
+            # NaN payloads are preserved by struct round-tripping.
+            assert math.isnan(bits.bits_to_double(bits.double_to_bits(value)))
+        else:
+            assert bits.double_to_bits(value) == raw
+
+    @given(x=any_double)
+    def test_matches_struct_layout(self, x):
+        packed = struct.pack(">d", x)
+        hi_ref = int.from_bytes(packed[:4], "big")
+        lo_ref = int.from_bytes(packed[4:], "big")
+        hi, lo = bits.words(x)
+        assert lo == lo_ref
+        assert hi & 0xFFFFFFFF == hi_ref
+
+    @given(x=any_double)
+    def test_fabs_clears_sign(self, x):
+        assert bits.high_word(bits.fabs(x)) >= 0

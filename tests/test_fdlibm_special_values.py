@@ -1,0 +1,146 @@
+"""Special-value behaviour (inf, NaN, signed zero) of the Fdlibm port.
+
+These are exactly the cases guarded by the high-word comparisons CoverMe has
+to cover, so they double as a check that the special-case branches compute
+the right thing when reached.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.fdlibm import suite
+
+INF = float("inf")
+NAN = float("nan")
+
+
+def entry(name):
+    return suite.get_case(name).entry
+
+
+class TestInfinities:
+    def test_exp(self):
+        assert entry("ieee754_exp")(INF) == INF
+        assert entry("ieee754_exp")(-INF) == 0.0
+        assert entry("ieee754_exp")(1000.0) == INF  # overflow
+        assert entry("ieee754_exp")(-1000.0) == 0.0  # underflow
+
+    def test_tanh(self):
+        assert entry("tanh")(INF) == 1.0
+        assert entry("tanh")(-INF) == -1.0
+
+    def test_sin_cos_of_inf_is_nan(self):
+        assert math.isnan(entry("sin")(INF))
+        assert math.isnan(entry("cos")(-INF))
+        assert math.isnan(entry("tan")(INF))
+
+    def test_log_of_zero_and_negative(self):
+        assert entry("ieee754_log")(0.0) == -INF
+        assert math.isnan(entry("ieee754_log")(-1.0))
+        assert entry("ieee754_log")(INF) == INF
+
+    def test_sqrt_of_negative_is_nan(self):
+        assert math.isnan(entry("iddd754_sqrt")(-4.0))
+        assert entry("iddd754_sqrt")(INF) == INF
+
+    def test_cosh_sinh_overflow(self):
+        assert entry("ieee754_cosh")(1000.0) == INF
+        assert entry("ieee754_sinh")(1000.0) == INF
+        assert entry("ieee754_sinh")(-1000.0) == -INF
+
+    def test_hypot_with_inf(self):
+        assert entry("ieee754_hypot")(INF, 1.0) == INF
+        assert entry("ieee754_hypot")(1.0, -INF) == INF
+
+    def test_atan_limits(self):
+        assert entry("atan")(INF) == pytest.approx(math.pi / 2.0)
+        assert entry("atan")(-INF) == pytest.approx(-math.pi / 2.0)
+
+    def test_erf_limits(self):
+        assert entry("erf")(INF) == 1.0
+        assert entry("erf")(-INF) == -1.0
+        assert entry("erfc")(INF) == 0.0
+        assert entry("erfc")(-INF) == 2.0
+
+    def test_bessel_at_inf(self):
+        assert entry("ieee754_j0")(INF) == 0.0
+        assert entry("ieee754_j1")(INF) == 0.0
+        assert entry("ieee754_y0")(INF) == 0.0
+
+    def test_pow_special_infinities(self):
+        pow_ = entry("ieee754_pow")
+        assert pow_(2.0, INF) == INF
+        assert pow_(0.5, INF) == 0.0
+        assert pow_(2.0, -INF) == 0.0
+        assert math.isnan(pow_(1.0, INF))  # fdlibm 5.3 semantics: 1**inf is NaN
+        assert pow_(INF, 2.0) == INF
+        assert pow_(-INF, 3.0) == -INF
+
+
+class TestNaNs:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "ieee754_exp", "ieee754_log", "expm1", "log1p", "sin", "cos", "tan",
+            "tanh", "atan", "ieee754_sinh", "ieee754_cosh", "asinh", "erf", "erfc",
+            "floor", "ceil", "rint", "cbrt", "iddd754_sqrt", "logb", "ieee754_acos",
+            "ieee754_asin", "ieee754_atanh", "ieee754_acosh",
+        ],
+    )
+    def test_unary_nan_propagates(self, name):
+        assert math.isnan(entry(name)(NAN))
+
+    def test_binary_nan_propagates(self):
+        assert math.isnan(entry("ieee754_fmod")(NAN, 2.0))
+        assert math.isnan(entry("ieee754_fmod")(2.0, NAN))
+        assert math.isnan(entry("ieee754_atan2")(NAN, 1.0))
+        assert math.isnan(entry("ieee754_remainder")(1.0, NAN))
+        assert math.isnan(entry("ieee754_pow")(NAN, 2.0))
+        assert entry("ieee754_pow")(NAN, 0.0) == 1.0  # x**0 is 1 even for NaN
+
+    def test_domain_errors_are_nan(self):
+        assert math.isnan(entry("ieee754_asin")(2.0))
+        assert math.isnan(entry("ieee754_acos")(-2.0))
+        assert math.isnan(entry("ieee754_atanh")(2.0))
+        assert math.isnan(entry("ieee754_acosh")(0.5))
+        assert math.isnan(entry("ieee754_fmod")(1.0, 0.0))
+        assert math.isnan(entry("ieee754_pow")(-2.0, 0.5))
+
+
+class TestZerosAndEdges:
+    def test_signed_zero_preserved(self):
+        assert math.copysign(1.0, entry("floor")(-0.25)) == -1.0
+        assert entry("cbrt")(0.0) == 0.0
+        assert entry("iddd754_sqrt")(-0.0) == 0.0
+
+    def test_atanh_at_one_is_inf(self):
+        assert entry("ieee754_atanh")(1.0) == INF
+        assert entry("ieee754_atanh")(-1.0) == -INF
+
+    def test_y0_y1_at_zero(self):
+        assert entry("ieee754_y0")(0.0) == -INF
+        assert entry("ieee754_y1")(0.0) == -INF
+        assert math.isnan(entry("ieee754_y0")(-1.0))
+
+    def test_ilogb_and_logb_of_zero(self):
+        assert entry("ilogb")(0.0) == -2147483648
+        assert entry("logb")(0.0) == -INF
+
+    def test_acos_asin_at_exact_one(self):
+        assert entry("ieee754_acos")(1.0) == 0.0
+        assert entry("ieee754_acos")(-1.0) == pytest.approx(math.pi)
+        assert entry("ieee754_asin")(1.0) == pytest.approx(math.pi / 2.0)
+
+    def test_scalb_non_integer_exponent_is_nan(self):
+        assert math.isnan(entry("ieee754_scalb")(1.0, 0.5))
+
+    def test_remainder_by_zero_is_nan(self):
+        assert math.isnan(entry("ieee754_remainder")(1.0, 0.0))
+
+    def test_nextafter_at_zero_crosses_to_subnormal(self):
+        value = entry("nextafter")(0.0, 1.0)
+        assert value > 0.0
+        assert value == math.nextafter(0.0, 1.0)

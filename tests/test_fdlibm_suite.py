@@ -1,0 +1,94 @@
+"""Tests for the benchmark suite registry and the instrumentability of every port."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.fdlibm.excluded import EXCLUDED, excluded_by_reason
+from repro.fdlibm.suite import BENCHMARKS, PAPER_MEANS, get_case, iter_cases
+from repro.instrument.program import instrument
+from repro.instrument.runtime import Runtime
+
+
+class TestRegistry:
+    def test_forty_benchmark_functions(self):
+        assert len(BENCHMARKS) == 40
+
+    def test_keys_are_unique(self):
+        keys = [case.key for case in BENCHMARKS]
+        assert len(keys) == len(set(keys))
+
+    def test_lookup_by_name_and_key(self):
+        assert get_case("tanh").file == "s_tanh.c"
+        assert get_case("e_pow.c:ieee754_pow(double,double)").arity == 2
+        with pytest.raises(KeyError):
+            get_case("does_not_exist")
+
+    def test_iter_cases_limit(self):
+        assert len(list(iter_cases(limit=5))) == 5
+        assert len(list(iter_cases())) == 40
+
+    def test_paper_branch_counts_match_table2(self):
+        reference = {"s_tanh.c:tanh(double)": 12, "e_pow.c:ieee754_pow(double,double)": 114,
+                     "k_cos.c:kernel_cos(double,double)": 8, "s_tan.c:tan(double)": 4}
+        for key, branches in reference.items():
+            assert get_case(key).paper.branches == branches
+
+    def test_paper_means_match_headline_numbers(self):
+        assert PAPER_MEANS["coverme_branch"] == 90.8
+        assert PAPER_MEANS["rand_branch"] == 38.0
+        assert PAPER_MEANS["afl_branch"] == 72.9
+        assert PAPER_MEANS["austin_branch"] == 42.8
+
+    def test_arities_are_one_or_two(self):
+        assert {case.arity for case in BENCHMARKS} == {1, 2}
+
+    def test_callable_matches_arity(self):
+        for case in BENCHMARKS:
+            value = case.entry(*([0.5] * case.arity))
+            assert value is not None
+
+
+class TestInstrumentability:
+    """Every benchmark port must be instrumentable and runnable when instrumented."""
+
+    @pytest.mark.parametrize("case", BENCHMARKS, ids=[c.key for c in BENCHMARKS])
+    def test_instrument_and_run(self, case):
+        program = instrument(case.entry)
+        assert program.n_conditionals > 0
+        args = tuple([0.5] * case.arity)
+        value, r, record = program.run(args, runtime=Runtime())
+        assert record.path, "at least one conditional should execute"
+        # Instrumentation must not change the computed value.
+        original = case.entry(*args)
+        if isinstance(original, float) and math.isnan(original):
+            assert isinstance(value, float) and math.isnan(value)
+        else:
+            assert value == original
+
+    @pytest.mark.parametrize("case", BENCHMARKS, ids=[c.key for c in BENCHMARKS])
+    def test_branch_count_close_to_paper(self, case):
+        """Ported branch counts stay within a factor of two of Gcov's counts."""
+        program = instrument(case.entry)
+        ported = program.n_branches
+        paper = case.paper.branches
+        assert ported >= paper / 2.0
+        assert ported <= paper * 2.0
+
+
+class TestExclusions:
+    def test_table4_size(self):
+        assert len(EXCLUDED) == 52
+
+    def test_grouping_reasons(self):
+        groups = excluded_by_reason()
+        assert set(groups) == {"no branch", "unsupported input type", "static C function"}
+        assert len(groups["static C function"]) == 5
+        assert len(groups["unsupported input type"]) == 11
+
+    def test_no_overlap_with_benchmarks(self):
+        benchmark_functions = {case.function for case in BENCHMARKS}
+        excluded_functions = {item.function for item in EXCLUDED}
+        assert not benchmark_functions & excluded_functions

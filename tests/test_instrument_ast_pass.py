@@ -1,0 +1,164 @@
+"""Tests for the AST instrumentation pass."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.instrument.ast_pass import (
+    HANDLE_NAME,
+    assign_labels,
+    collect_conditionals,
+    instrument_source,
+)
+from repro.instrument.program import instrument
+from tests import sample_programs as sp
+
+
+def parse_function(source: str) -> ast.FunctionDef:
+    tree = ast.parse(textwrap.dedent(source))
+    return tree.body[0]
+
+
+class TestCollectConditionals:
+    def test_counts_ifs_and_whiles(self):
+        func = parse_function(
+            """
+            def f(x):
+                if x > 0:
+                    while x > 1:
+                        x -= 1
+                for i in range(3):
+                    if x == i:
+                        return i
+                return x
+            """
+        )
+        assert len(collect_conditionals(func)) == 3
+
+    def test_skips_nested_function_defs(self):
+        func = parse_function(
+            """
+            def f(x):
+                def inner(y):
+                    if y > 0:
+                        return 1
+                    return 0
+                if x > 0:
+                    return inner(x)
+                return 0
+            """
+        )
+        assert len(collect_conditionals(func)) == 1
+
+    def test_source_order(self):
+        func = parse_function(
+            """
+            def f(x):
+                if x > 0:
+                    if x > 1:
+                        return 2
+                if x < -1:
+                    return -1
+                return 0
+            """
+        )
+        stmts = collect_conditionals(func)
+        labels, _ = assign_labels(func)
+        assert [labels[id(s)] for s in stmts] == [0, 1, 2]
+
+    def test_elif_is_a_separate_conditional(self):
+        func = parse_function(
+            """
+            def f(x):
+                if x > 0:
+                    return 1
+                elif x < 0:
+                    return -1
+                return 0
+            """
+        )
+        assert len(collect_conditionals(func)) == 2
+
+
+class TestRewriting:
+    def test_simple_comparison_is_rewritten(self):
+        tree, conds, _, _ = instrument_source(
+            "def f(x):\n    if x <= 1.0:\n        return 1\n    return 0\n"
+        )
+        text = ast.unparse(tree)
+        assert f"{HANDLE_NAME}.resolve(0, 'single', {HANDLE_NAME}.cmp(0, '<=', x, 1.0))" in text
+        assert len(conds) == 1
+        assert conds[0].kind == "if"
+
+    def test_negated_comparison_flips_operator(self):
+        tree, _, _, _ = instrument_source(
+            "def f(x):\n    if not x < 0.0:\n        return 1\n    return 0\n"
+        )
+        text = ast.unparse(tree)
+        assert "'>='" in text
+
+    def test_boolop_of_comparisons(self):
+        tree, _, _, _ = instrument_source(
+            "def f(x, y):\n    if x > 0.0 and y > 0.0:\n        return 1\n    return 0\n"
+        )
+        text = ast.unparse(tree)
+        assert "'and'" in text
+        assert text.count(f"{HANDLE_NAME}.cmp") == 2
+
+    def test_non_comparison_falls_back_to_truth(self):
+        tree, _, _, _ = instrument_source(
+            "def f(flag):\n    if flag:\n        return 1\n    return 0\n"
+        )
+        text = ast.unparse(tree)
+        assert f"{HANDLE_NAME}.truth(0, flag)" in text
+
+    def test_while_condition_is_rewritten(self):
+        tree, conds, _, _ = instrument_source(
+            "def f(x):\n    while x > 1.0:\n        x = x / 2\n    return x\n"
+        )
+        text = ast.unparse(tree)
+        assert f"{HANDLE_NAME}.cmp(0, '>', x, 1.0)" in text
+        assert conds[0].kind == "while"
+
+    def test_start_label_offsets_labels(self):
+        _, conds, _, _ = instrument_source(
+            "def f(x):\n    if x > 0.0:\n        return 1\n    return 0\n", start_label=7
+        )
+        assert conds[0].label == 7
+
+    def test_missing_function_raises(self):
+        with pytest.raises(ValueError):
+            instrument_source("x = 1\n", function_name="nope")
+
+    def test_chained_comparison_not_split(self):
+        """``a < b < c`` is not a single supported comparison; falls back to truth."""
+        tree, _, _, _ = instrument_source(
+            "def f(x):\n    if 0.0 < x < 1.0:\n        return 1\n    return 0\n"
+        )
+        text = ast.unparse(tree)
+        assert f"{HANDLE_NAME}.truth" in text
+
+
+class TestSemanticsPreserved:
+    """Instrumented programs must compute exactly what the original computes."""
+
+    @pytest.mark.parametrize(
+        "func,args",
+        [
+            (sp.single_branch, [(0.5,), (2.0,)]),
+            (sp.paper_foo, [(0.7,), (1.0,), (-3.0,), (5.2,)]),
+            (sp.nested_branches, [(1.0, 1.0), (1.0, -1.0), (-1.0, 5.0), (-1.0, 0.0)]),
+            (sp.loop_program, [(0.5,), (9.0,), (1.0e6,)]),
+            (sp.boolean_condition, [(1.0, 1.0), (-20.0, 0.0), (0.0, 0.0)]),
+            (sp.truthiness, [(5.0,), (1.0,)]),
+            (sp.three_dimensional, [(1.0, 2.0, 7.0), (20.0, 1.0, -8.0), (0.0, 0.0, 0.0)]),
+        ],
+    )
+    def test_same_return_values(self, func, args):
+        program = instrument(func)
+        for point in args:
+            value, _, _ = program.run(point)
+            assert value == func(*point)

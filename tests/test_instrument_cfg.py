@@ -1,0 +1,68 @@
+"""Tests for the descendant-branch analysis (Def. 3.2 support)."""
+
+from __future__ import annotations
+
+from repro.instrument.program import instrument
+from repro.instrument.runtime import BranchId
+from tests import sample_programs as sp
+
+
+class TestPaperExample:
+    """The control-flow graph of Fig. 3: l1 follows both arms of l0."""
+
+    def test_l1_is_descendant_of_both_arms_of_l0(self, paper_foo_program):
+        analysis = paper_foo_program.descendants
+        assert 1 in analysis.descendant_conditionals(BranchId(0, True))
+        assert 1 in analysis.descendant_conditionals(BranchId(0, False))
+
+    def test_l1_has_no_descendants(self, paper_foo_program):
+        analysis = paper_foo_program.descendants
+        assert analysis.descendant_conditionals(BranchId(1, True)) == frozenset()
+        assert analysis.descendant_conditionals(BranchId(1, False)) == frozenset()
+
+    def test_descendant_branches_expand_both_outcomes(self, paper_foo_program):
+        branches = paper_foo_program.descendant_branches(BranchId(0, True))
+        assert branches == frozenset({BranchId(1, True), BranchId(1, False)})
+
+
+class TestNesting:
+    def test_inner_conditional_only_descends_from_enclosing_arm(self, nested_program):
+        analysis = nested_program.descendants
+        # Conditional 1 (y > 0) is nested in the true arm of conditional 0.
+        assert 1 in analysis.descendant_conditionals(BranchId(0, True))
+        assert 1 not in analysis.descendant_conditionals(BranchId(0, False))
+        # Conditional 2 (y == 5) lives in the false arm.
+        assert 2 in analysis.descendant_conditionals(BranchId(0, False))
+        assert 2 not in analysis.descendant_conditionals(BranchId(0, True))
+
+
+class TestEarlyReturn:
+    def test_terminating_arm_has_no_following_descendants(self):
+        program = instrument(sp.early_return)
+        analysis = program.descendants
+        # Taking the NaN guard's true arm returns immediately.
+        assert analysis.descendant_conditionals(BranchId(0, True)) == frozenset()
+        # The false arm falls through to the next conditional.
+        assert 1 in analysis.descendant_conditionals(BranchId(0, False))
+
+
+class TestLoops:
+    def test_while_true_branch_reaches_itself(self):
+        program = instrument(sp.loop_program)
+        analysis = program.descendants
+        loop_label = 0
+        reach_true = analysis.descendant_conditionals(BranchId(loop_label, True))
+        assert loop_label in reach_true  # the loop test can run again
+        assert 1 in reach_true  # the conditional after the loop is reachable
+        reach_false = analysis.descendant_conditionals(BranchId(loop_label, False))
+        assert loop_label not in reach_false
+        assert 1 in reach_false
+
+
+class TestHelperMerging:
+    def test_multi_function_analysis_covers_all_labels(self):
+        program = instrument(sp.calls_helper, extra_functions=[sp.helper_goo])
+        assert program.n_conditionals == 1  # only the helper has a conditional
+        analysis = program.descendants
+        assert BranchId(0, True) in analysis.reachable
+        assert BranchId(0, False) in analysis.reachable

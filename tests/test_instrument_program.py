@@ -1,0 +1,86 @@
+"""Tests for InstrumentedProgram construction and execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.instrument.program import InstrumentationError, instrument
+from repro.instrument.runtime import BranchId, Runtime
+from repro.instrument.signature import ProgramSignature
+from tests import sample_programs as sp
+
+
+class TestConstruction:
+    def test_counts_conditionals_and_branches(self, paper_foo_program):
+        assert paper_foo_program.n_conditionals == 2
+        assert paper_foo_program.n_branches == 4
+        assert paper_foo_program.all_branches == frozenset(
+            {BranchId(0, True), BranchId(0, False), BranchId(1, True), BranchId(1, False)}
+        )
+
+    def test_signature_derived_from_parameters(self):
+        program = instrument(sp.nested_branches)
+        assert program.arity == 2
+        assert program.signature.name == "nested_branches"
+
+    def test_explicit_signature_is_used(self):
+        signature = ProgramSignature(name="custom", arity=1, low=(-2.0,), high=(2.0,))
+        program = instrument(sp.single_branch, signature=signature)
+        assert program.signature.low == (-2.0,)
+
+    def test_source_is_kept_for_inspection(self, paper_foo_program):
+        assert "__coverme_rt__" in paper_foo_program.source
+
+    def test_lambda_cannot_be_instrumented(self):
+        with pytest.raises((InstrumentationError, ValueError)):
+            instrument(lambda x: 1 if x > 0 else 0)
+
+    def test_builtin_cannot_be_instrumented(self):
+        with pytest.raises(InstrumentationError):
+            instrument(abs)
+
+
+class TestExecution:
+    def test_run_returns_value_r_and_record(self, paper_foo_program):
+        value, r, record = paper_foo_program.run((0.5,), runtime=Runtime())
+        assert value == sp.paper_foo(0.5)
+        assert r == 1.0
+        assert record.covered == {BranchId(0, True), BranchId(1, False)}
+
+    def test_run_uses_fresh_runtime_when_none_given(self, paper_foo_program):
+        value, r, record = paper_foo_program.run((2.0,))
+        assert value == sp.paper_foo(2.0)
+        assert record.covered == {BranchId(0, False), BranchId(1, True)}
+
+    def test_exceptions_in_program_are_swallowed(self):
+        program = instrument(sp.raises_for_small)
+        value, _, record = program.run((0.5,))  # 1.0 / 0 raises inside the program
+        assert value is None
+        assert BranchId(0, True) in record.covered  # branch before the fault recorded
+
+    def test_helper_instrumentation_redirects_calls(self):
+        program = instrument(sp.calls_helper, extra_functions=[sp.helper_goo])
+        _, _, record = program.run((0.1,), runtime=Runtime())
+        assert BranchId(0, True) in record.covered
+        _, _, record = program.run((10.0,), runtime=Runtime())
+        assert BranchId(0, False) in record.covered
+
+    def test_original_function_is_not_mutated(self, paper_foo_program):
+        # The module-level function keeps working without any runtime installed.
+        assert sp.paper_foo(0.7) == 0
+        assert sp.paper_foo(1.0) == 1
+
+
+class TestSignature:
+    def test_rejects_zero_arity(self):
+        with pytest.raises(ValueError):
+            ProgramSignature(name="bad", arity=0)
+
+    def test_bounds_must_match_arity(self):
+        with pytest.raises(ValueError):
+            ProgramSignature(name="bad", arity=2, low=(0.0,), high=(1.0,))
+
+    def test_from_callable_counts_positional_parameters(self):
+        signature = ProgramSignature.from_callable(sp.three_dimensional)
+        assert signature.arity == 3
+        assert len(signature.low) == 3

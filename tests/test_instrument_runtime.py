@@ -1,0 +1,157 @@
+"""Tests for the instrumentation runtime (probes, r register, records)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.branch_distance import DEFAULT_EPSILON
+from repro.instrument.runtime import (
+    BranchId,
+    ConditionalOutcome,
+    ExecutionRecord,
+    Runtime,
+    RuntimeHandle,
+)
+
+
+class ConstantPolicy:
+    """Penalty policy that records calls and sets r to a constant."""
+
+    def __init__(self, value=0.25):
+        self.value = value
+        self.calls = []
+
+    def penalty(self, conditional, d_true, d_false, outcome, current_r):
+        self.calls.append((conditional, d_true, d_false, outcome, current_r))
+        return self.value
+
+
+class TestBranchId:
+    def test_ordering_and_sibling(self):
+        branch = BranchId(3, True)
+        assert branch.sibling == BranchId(3, False)
+        assert BranchId(1, False) < BranchId(2, True)
+
+    def test_repr(self):
+        assert repr(BranchId(4, True)) == "4T"
+        assert repr(BranchId(0, False)) == "0F"
+
+
+class TestRuntimeProbes:
+    def test_cmp_returns_outcome_and_records_on_resolve(self):
+        rt = Runtime()
+        rt.begin()
+        outcome = rt.cmp(0, "<=", 1.0, 2.0)
+        assert outcome is True
+        assert rt.resolve(0, "single", outcome) is True
+        r, record = rt.end()
+        assert r == 1.0  # no policy installed
+        assert record.covered == {BranchId(0, True)}
+
+    def test_cmp_rejects_bad_operator(self):
+        rt = Runtime()
+        rt.begin()
+        with pytest.raises(ValueError):
+            rt.cmp(0, "?", 1.0, 2.0)
+
+    def test_distances_reach_policy(self):
+        policy = ConstantPolicy()
+        rt = Runtime(policy=policy)
+        rt.begin()
+        rt.resolve(0, "single", rt.cmp(0, "==", 3.0, 5.0))
+        assert len(policy.calls) == 1
+        conditional, d_true, d_false, outcome, current_r = policy.calls[0]
+        assert conditional == 0
+        assert d_true == pytest.approx(4.0)
+        assert d_false == 0.0
+        assert outcome is False
+        assert current_r == 1.0
+        assert rt.r == 0.25
+
+    def test_truth_promotes_numbers(self):
+        policy = ConstantPolicy()
+        rt = Runtime(policy=policy)
+        rt.begin()
+        assert rt.truth(0, 3.5) is True
+        _, d_true, d_false, _, _ = policy.calls[0]
+        assert d_true == 0.0  # 3.5 != 0 holds
+        assert d_false > 0.0
+
+    def test_truth_with_non_numeric_records_coverage_only(self):
+        policy = ConstantPolicy()
+        rt = Runtime(policy=policy)
+        rt.begin()
+        assert rt.truth(0, "nonempty") is True
+        assert policy.calls == []  # no distance available, r untouched
+        assert BranchId(0, True) in rt.record.covered
+
+    def test_nan_operand_yields_large_distance(self):
+        rt = Runtime()
+        rt.begin()
+        rt.resolve(0, "single", rt.cmp(0, "<=", float("nan"), 1.0))
+        outcome = rt.record.path[0]
+        assert outcome.outcome is False
+        assert outcome.distance_true >= 1.0e300
+
+    def test_and_composition_sums_true_distances(self):
+        policy = ConstantPolicy()
+        rt = Runtime(policy=policy)
+        rt.begin()
+        first = rt.cmp(0, ">", 0.0, 1.0)   # false, distance to true = 1 + eps
+        second = rt.cmp(0, ">", -1.0, 1.0)  # false, distance to true = 4 + eps
+        rt.resolve(0, "and", first and second)
+        _, d_true, d_false, _, _ = policy.calls[0]
+        assert d_true == pytest.approx(5.0 + 2 * DEFAULT_EPSILON)
+        assert d_false == 0.0
+
+    def test_or_composition_takes_min_true_distance(self):
+        policy = ConstantPolicy()
+        rt = Runtime(policy=policy)
+        rt.begin()
+        first = rt.cmp(0, ">", 0.0, 1.0)
+        second = rt.cmp(0, ">", 0.5, 1.0)
+        rt.resolve(0, "or", first or second)
+        _, d_true, _, _, _ = policy.calls[0]
+        assert d_true == pytest.approx(0.25 + DEFAULT_EPSILON)
+
+    def test_begin_resets_state(self):
+        rt = Runtime(policy=ConstantPolicy(0.5))
+        rt.begin()
+        rt.resolve(0, "single", rt.cmp(0, "==", 1.0, 2.0))
+        assert rt.r == 0.5
+        rt.begin()
+        assert rt.r == 1.0
+        assert rt.record.path == []
+
+    def test_evaluation_counter(self):
+        rt = Runtime()
+        for _ in range(3):
+            rt.begin()
+            rt.end()
+        assert rt.total_evaluations == 3
+
+
+class TestExecutionRecord:
+    def test_last_and_conditionals_executed(self):
+        record = ExecutionRecord()
+        assert record.last is None
+        record.register(ConditionalOutcome(0, True, 0.0, 1.0))
+        record.register(ConditionalOutcome(2, False, 3.0, 0.0))
+        assert record.last.conditional == 2
+        assert record.conditionals_executed() == {0, 2}
+        assert record.covered == {BranchId(0, True), BranchId(2, False)}
+
+
+class TestRuntimeHandle:
+    def test_requires_installation(self):
+        handle = RuntimeHandle()
+        with pytest.raises(RuntimeError):
+            handle.cmp(0, "<", 1.0, 2.0)
+
+    def test_forwards_to_installed_runtime(self):
+        handle = RuntimeHandle()
+        rt = Runtime()
+        handle.install(rt)
+        rt.begin()
+        assert handle.resolve(0, "single", handle.cmp(0, "<", 1.0, 2.0)) is True
+        assert BranchId(0, True) in rt.record.covered
