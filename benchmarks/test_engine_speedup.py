@@ -1,0 +1,77 @@
+"""Wall-clock speedup of the parallel search engine on a multi-start workload.
+
+The paper's Algorithm 1 launches ``n_start`` independent basin-hopping runs;
+the engine executes them on a process pool.  This bench pits a process pool
+against the sequential engine on Fdlibm functions whose branch structure is
+rich enough that the whole start budget is actually spent, and asserts both
+that the parallel run reproduces the sequential covered/saturated sets
+exactly (the determinism contract) and that it is at least 1.5x faster.
+
+Skipped gracefully on machines without enough cores to demonstrate speedup.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.config import CoverMeConfig
+from repro.core.coverme import CoverMe
+from repro.experiments.runner import instrument_case
+from repro.fdlibm.suite import BENCHMARKS
+
+# Above GitHub's 4-vCPU hosted runners: their shared, noisy-neighbor CPUs
+# make a hard wall-clock assertion flaky, so CI skips this test and dedicated
+# hardware (or REPRO_FORCE_SPEEDUP_BENCH=1) runs it.
+MIN_CORES = 6
+WORKLOAD_FUNCTIONS = ("ieee754_j0", "ieee754_y0")
+
+
+def _workload_cases():
+    by_name = {case.function.split("(")[0]: case for case in BENCHMARKS}
+    return [by_name[name] for name in WORKLOAD_FUNCTIONS if name in by_name]
+
+
+def _run(n_workers: int, worker_mode: str):
+    elapsed = 0.0
+    outcomes = []
+    for case in _workload_cases():
+        config = CoverMeConfig(
+            n_start=32,
+            n_iter=4,
+            seed=11,
+            n_workers=n_workers,
+            worker_mode=worker_mode,
+        )
+        program = instrument_case(case)
+        started = time.perf_counter()
+        result = CoverMe(program, config).run()
+        elapsed += time.perf_counter() - started
+        outcomes.append((case.function, result.covered, result.saturated))
+    return elapsed, outcomes
+
+
+def test_parallel_engine_speedup():
+    cpus = os.cpu_count() or 1
+    forced = os.environ.get("REPRO_FORCE_SPEEDUP_BENCH") == "1"
+    if cpus < MIN_CORES and not forced:
+        pytest.skip(f"parallel speedup needs >= {MIN_CORES} cores, runner has {cpus}")
+    assert _workload_cases(), "workload functions missing from the suite"
+    # Leave one core for the parent on small machines (e.g. 4-vCPU CI runners)
+    # so the measurement is not fighting the scheduler for its own reducer.
+    n_workers = min(4, cpus - 1)
+
+    sequential_time, sequential = _run(1, "serial")
+    parallel_time, parallel = _run(n_workers, "process")
+
+    # Determinism contract: worker count must not change what gets covered.
+    assert parallel == sequential
+
+    speedup = sequential_time / parallel_time
+    print(
+        f"\nmulti-start workload: sequential {sequential_time:.2f}s, "
+        f"parallel(x{n_workers}) {parallel_time:.2f}s, speedup {speedup:.2f}x"
+    )
+    assert speedup >= 1.5, f"expected >= 1.5x speedup, measured {speedup:.2f}x"

@@ -7,8 +7,12 @@ The package provides:
   penalty, the representing function ``FOO_R`` and the Algorithm 1 driver.
 * :mod:`repro.instrument` -- a source-level instrumentation pass for Python
   functions (the reproduction's analogue of the paper's LLVM pass).
+* :mod:`repro.engine` -- the search-engine subsystem: seeded start-point
+  scheduling, serial/thread/process worker pools, and the batched
+  multi-start loop with deterministic reduction.
 * :mod:`repro.optimize` -- unconstrained programming backends: Powell,
-  Nelder-Mead, compass search, MCMC basin-hopping, and a SciPy adapter.
+  Nelder-Mead, compass search, MCMC basin-hopping, a SciPy adapter, and the
+  backend registry that makes Step 3 pluggable.
 * :mod:`repro.coverage` -- Gcov-like branch and line coverage measurement.
 * :mod:`repro.fdlibm` -- a Python port of the Fdlibm 5.3 benchmark functions.
 * :mod:`repro.baselines` -- the compared tools: random testing, an AFL-style
@@ -36,10 +40,12 @@ from repro.core.coverme import CoverMe, CoverMeResult
 from repro.core.branch_distance import branch_distance
 from repro.core.representing import RepresentingFunction
 from repro.core.saturation import SaturationTracker
+from repro.engine import SearchEngine, StartScheduler
 from repro.instrument.program import InstrumentedProgram, instrument
 from repro.instrument.runtime import BranchId
+from repro.optimize.registry import available_backends, get_backend, register_backend
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CoverMe",
@@ -47,9 +53,14 @@ __all__ = [
     "CoverMeResult",
     "RepresentingFunction",
     "SaturationTracker",
+    "SearchEngine",
+    "StartScheduler",
     "InstrumentedProgram",
     "instrument",
     "BranchId",
+    "available_backends",
     "branch_distance",
+    "get_backend",
+    "register_backend",
     "__version__",
 ]

@@ -42,14 +42,17 @@ def negate_op(op: str) -> str:
 
 
 def _squared_gap(a: float, b: float) -> float:
-    """``(a - b)^2`` guarded against overflow to keep the objective finite."""
+    """``min((a - b)^2, 1e300)``: saturated so large gaps stay finite.
+
+    Saturating *every* value at the ceiling (not just the overflowing ones)
+    keeps the distance monotone in the gap -- a finite square like
+    ``(1e150)^2 > 1e300`` must not exceed the clamp an overflowing gap
+    receives.
+    """
     gap = a - b
     if math.isinf(gap):
         return 1.0e300
-    sq = gap * gap
-    if math.isinf(sq):
-        return 1.0e300
-    return sq
+    return min(gap * gap, 1.0e300)
 
 
 def branch_distance(op: str, a: float, b: float, epsilon: float = DEFAULT_EPSILON) -> float:

@@ -1,74 +1,35 @@
 """The CoverMe driver: Algorithm 1 (branch coverage-based testing).
 
-The driver owns the three steps of the approach:
+The driver is a thin façade over the search-engine subsystem; it owns the
+three steps of the approach:
 
 1. instrument the program under test (delegated to :mod:`repro.instrument`),
 2. build the representing function ``FOO_R`` (Step 2, :mod:`repro.core.representing`),
-3. repeatedly minimize ``FOO_R`` with a basin-hopping backend from random
-   starting points (Step 3), collecting every zero-valued minimum point as a
-   test input and applying the infeasible-branch heuristic of Sect. 5.3 when a
-   minimization bottoms out above zero.
+3. hand the multi-start minimization of ``FOO_R`` (Step 3) to
+   :class:`~repro.engine.core.SearchEngine`, which schedules seeded starting
+   points, runs basin-hopping launches on the configured worker pool, and
+   reduces the results deterministically -- collecting every zero-valued
+   minimum point as a test input and applying the infeasible-branch
+   heuristic of Sect. 5.3 when a minimization bottoms out above zero.
+
+The optimization backend is resolved by name through the registry of
+:mod:`repro.optimize.registry`; any registered unconstrained-programming
+algorithm can drive Step 3.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional, Sequence
-
-import numpy as np
+from typing import Callable, Iterable, Optional
 
 from repro.core.config import CoverMeConfig
-from repro.core.report import CoverageReport, MinimizationTrace
+from repro.core.report import CoverMeResult
 from repro.core.representing import RepresentingFunction
 from repro.core.saturation import SaturationTracker
+from repro.engine.core import SearchEngine
 from repro.instrument.program import InstrumentedProgram, instrument
-from repro.instrument.runtime import BranchId
 from repro.instrument.signature import ProgramSignature
-from repro.optimize.basinhopping import basinhopping
-from repro.optimize.scipy_backend import scipy_basinhopping
 
-
-@dataclass
-class CoverMeResult:
-    """Everything Algorithm 1 produced for one program under test."""
-
-    program: str
-    inputs: list[tuple[float, ...]]
-    n_branches: int
-    covered: frozenset[BranchId]
-    saturated: frozenset[BranchId]
-    infeasible: frozenset[BranchId]
-    evaluations: int
-    wall_time: float
-    n_starts_used: int
-    traces: list[MinimizationTrace] = field(default_factory=list)
-
-    @property
-    def covered_branches(self) -> int:
-        return len(self.covered)
-
-    @property
-    def branch_coverage(self) -> float:
-        """Covered fraction of branches in ``[0, 1]``."""
-        if self.n_branches == 0:
-            return 1.0
-        return len(self.covered) / self.n_branches
-
-    @property
-    def branch_coverage_percent(self) -> float:
-        return 100.0 * self.branch_coverage
-
-    @property
-    def fully_covered(self) -> bool:
-        return len(self.covered) >= self.n_branches
-
-    def coverage_report(self) -> CoverageReport:
-        return CoverageReport(
-            name=self.program,
-            n_branches=self.n_branches,
-            covered_branches=len(self.covered),
-        )
+__all__ = ["CoverMe", "CoverMeResult", "cover"]
 
 
 class CoverMe:
@@ -96,125 +57,18 @@ class CoverMe:
         else:
             self.program = instrument(target, extra_functions=extra_functions, signature=signature)
         self.tracker = SaturationTracker(self.program)
+        # The Step-2 object, exposed for direct evaluation of FOO_R against
+        # the driver's tracker.  The engine builds its own per-start
+        # RepresentingFunction instances, so this one's evaluation counter
+        # does not advance during run(); read ``result.evaluations`` instead.
         self.representing = RepresentingFunction(
             self.program, self.tracker, epsilon=self.config.epsilon
         )
 
-    # -- public API -----------------------------------------------------------------
-
     def run(self) -> CoverMeResult:
         """Execute Algorithm 1 and return the generated inputs plus coverage."""
-        config = self.config
-        rng = np.random.default_rng(config.seed)
-        inputs: list[tuple[float, ...]] = []
-        traces: list[MinimizationTrace] = []
-        start_time = time.perf_counter()
-        starts_used = 0
-
-        for _ in range(config.n_start):
-            if self.tracker.all_saturated():
-                break
-            if self._budget_exhausted(start_time):
-                break
-            starts_used += 1
-            x0 = rng.normal(scale=config.start_scale, size=self.program.arity)
-            evaluations_before = self.representing.evaluations
-            x_star, value = self._minimize_once(x0, rng)
-            value, record = self.representing.evaluate_with_record(x_star)
-            evaluations_used = self.representing.evaluations - evaluations_before
-
-            if value <= config.zero_tolerance:
-                newly = self.tracker.add_execution(record)
-                point = tuple(float(v) for v in np.atleast_1d(x_star))
-                inputs.append(point)
-                traces.append(
-                    MinimizationTrace(
-                        start=tuple(float(v) for v in x0),
-                        minimum_point=point,
-                        minimum_value=value,
-                        accepted=True,
-                        newly_covered=frozenset(newly),
-                        evaluations=evaluations_used,
-                    )
-                )
-            else:
-                marked = self._apply_infeasible_heuristic(record)
-                traces.append(
-                    MinimizationTrace(
-                        start=tuple(float(v) for v in x0),
-                        minimum_point=tuple(float(v) for v in np.atleast_1d(x_star)),
-                        minimum_value=value,
-                        accepted=False,
-                        marked_infeasible=marked,
-                        evaluations=evaluations_used,
-                    )
-                )
-
-        wall_time = time.perf_counter() - start_time
-        return CoverMeResult(
-            program=self.program.name,
-            inputs=inputs,
-            n_branches=self.program.n_branches,
-            covered=frozenset(self.tracker.covered & self.program.all_branches),
-            saturated=self.tracker.saturated,
-            infeasible=frozenset(self.tracker.infeasible),
-            evaluations=self.representing.evaluations,
-            wall_time=wall_time,
-            n_starts_used=starts_used,
-            traces=traces,
-        )
-
-    # -- internals --------------------------------------------------------------------
-
-    def _minimize_once(self, x0: np.ndarray, rng: np.random.Generator):
-        """One basin-hopping launch (Algorithm 1, line 10) with early stopping."""
-        config = self.config
-        found: dict[str, np.ndarray] = {}
-
-        def callback(x: np.ndarray, f: float, _accepted: bool) -> bool:
-            if f <= config.zero_tolerance:
-                found["x"] = np.array(x, dtype=float, copy=True)
-                return True
-            return False
-
-        backend = basinhopping if config.backend == "builtin" else scipy_basinhopping
-        result = backend(
-            self.representing,
-            x0,
-            n_iter=config.n_iter,
-            local_minimizer=config.local_minimizer,
-            step_size=config.step_size,
-            temperature=config.temperature,
-            rng=rng,
-            callback=callback,
-            local_options={"max_iterations": config.local_max_iterations},
-        )
-        if "x" in found:
-            return found["x"], 0.0
-        return result.x, result.fun
-
-    def _apply_infeasible_heuristic(self, record) -> Optional[BranchId]:
-        """Sect. 5.3: deem the unvisited branch of the last conditional infeasible."""
-        if not self.config.mark_infeasible:
-            return None
-        last = record.last
-        if last is None:
-            return None
-        candidate = BranchId(last.conditional, not last.outcome)
-        if candidate in self.tracker.covered or candidate in self.tracker.infeasible:
-            return None
-        self.tracker.mark_infeasible(candidate)
-        return candidate
-
-    def _budget_exhausted(self, start_time: float) -> bool:
-        config = self.config
-        if config.max_evaluations is not None:
-            if self.representing.evaluations >= config.max_evaluations:
-                return True
-        if config.time_budget is not None:
-            if time.perf_counter() - start_time >= config.time_budget:
-                return True
-        return False
+        engine = SearchEngine(self.program, self.config, tracker=self.tracker)
+        return engine.run()
 
 
 def cover(

@@ -22,6 +22,48 @@ class MinimizationTrace:
 
 
 @dataclass
+class CoverMeResult:
+    """Everything Algorithm 1 produced for one program under test."""
+
+    program: str
+    inputs: list[tuple[float, ...]]
+    n_branches: int
+    covered: frozenset[BranchId]
+    saturated: frozenset[BranchId]
+    infeasible: frozenset[BranchId]
+    evaluations: int
+    wall_time: float
+    n_starts_used: int
+    traces: list[MinimizationTrace] = field(default_factory=list)
+
+    @property
+    def covered_branches(self) -> int:
+        return len(self.covered)
+
+    @property
+    def branch_coverage(self) -> float:
+        """Covered fraction of branches in ``[0, 1]``."""
+        if self.n_branches == 0:
+            return 1.0
+        return len(self.covered) / self.n_branches
+
+    @property
+    def branch_coverage_percent(self) -> float:
+        return 100.0 * self.branch_coverage
+
+    @property
+    def fully_covered(self) -> bool:
+        return len(self.covered) >= self.n_branches
+
+    def coverage_report(self) -> "CoverageReport":
+        return CoverageReport(
+            name=self.program,
+            n_branches=self.n_branches,
+            covered_branches=len(self.covered),
+        )
+
+
+@dataclass
 class CoverageReport:
     """Branch (and optionally line) coverage summary in Gcov-like percentages."""
 

@@ -54,7 +54,11 @@ class RepresentingFunction:
         self.evaluations += 1
         _, r, record = self.program.run(args, runtime=self._runtime)
         self.last_record = record
-        if math.isnan(r):
+        if not math.isfinite(r):
+            # NaN carries no gradient, and +/-inf (e.g. summed overflow-guard
+            # distances of an ``and`` test) would poison any optimizer that
+            # compares or subtracts objective values; clamp all three to the
+            # same large finite penalty so C1 (FOO_R >= 0) holds numerically.
             r = 1.0e300
         self.last_value = r
         return r

@@ -1,0 +1,37 @@
+"""The pluggable search-engine core (Step 3 of the paper, parallelized).
+
+Layers:
+
+* :mod:`repro.engine.scheduler` -- seeded start-point strategies
+  (random-normal, Latin-hypercube, signature-box).
+* :mod:`repro.engine.worker` -- one basin-hopping start against a frozen
+  saturation snapshot; shared by every execution mode.
+* :mod:`repro.engine.pool` -- serial / thread / process worker pools plus
+  :func:`~repro.engine.pool.parallel_map` for batching whole experiments.
+* :mod:`repro.engine.core` -- :class:`~repro.engine.core.SearchEngine`, the
+  batched multi-start loop with deterministic in-order reduction.
+"""
+
+from repro.engine.scheduler import StartScheduler, available_strategies
+from repro.engine.worker import StartParams, StartResult, StartTask, run_start
+from repro.engine.pool import (
+    StartPool,
+    available_worker_modes,
+    parallel_map,
+    resolve_worker_mode,
+)
+from repro.engine.core import SearchEngine
+
+__all__ = [
+    "SearchEngine",
+    "StartParams",
+    "StartPool",
+    "StartResult",
+    "StartScheduler",
+    "StartTask",
+    "available_strategies",
+    "available_worker_modes",
+    "parallel_map",
+    "resolve_worker_mode",
+    "run_start",
+]

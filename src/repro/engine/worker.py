@@ -1,0 +1,169 @@
+"""Per-start execution units of the search engine.
+
+A *start* is one basin-hopping launch of Algorithm 1's loop body (lines
+9-13): minimize the representing function from one starting point against a
+frozen snapshot of the saturation state, then evaluate the found minimum once
+more to obtain its execution record.  Starts within a batch share the same
+snapshot, which makes them independent of one another -- the property that
+lets the engine run them on any number of workers and still merge the results
+deterministically.
+
+The same :func:`run_start` body serves all three execution modes:
+
+* **serial** and **thread** workers call it directly on (clones of) the
+  in-process :class:`~repro.instrument.program.InstrumentedProgram`;
+* **process** workers receive the *original* callable (picklable by module
+  reference), re-instrument it once per worker process, and cache the result
+  keyed by the program's origin, so the instrumentation cost is paid once per
+  worker rather than once per start.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.representing import RepresentingFunction
+from repro.core.saturation import SaturationTracker
+from repro.instrument.program import InstrumentedProgram, ProgramOrigin, instrument
+from repro.instrument.runtime import BranchId
+from repro.optimize.registry import get_backend
+
+#: Sub-stream tag keeping worker RNGs disjoint from the scheduler's draws.
+_STREAM_WORKER = 202
+
+
+@dataclass(frozen=True)
+class StartParams:
+    """The per-run constants every start needs (one copy per chunk, not per start)."""
+
+    backend: str
+    local_minimizer: str
+    n_iter: int
+    step_size: float
+    temperature: float
+    local_max_iterations: int
+    zero_tolerance: float
+    epsilon: float
+    root_seed: int
+    deadline: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class StartTask:
+    """One scheduled start: its global index, starting point and snapshot."""
+
+    index: int
+    x0: tuple[float, ...]
+    covered: frozenset[BranchId]
+    infeasible: frozenset[BranchId]
+
+
+@dataclass
+class StartResult:
+    """What one start produced, in the shape the deterministic merge consumes."""
+
+    index: int
+    x0: tuple[float, ...]
+    x_star: tuple[float, ...]
+    value: float
+    covered: frozenset[BranchId] = frozenset()
+    last_conditional: Optional[int] = None
+    last_outcome: Optional[bool] = None
+    evaluations: int = 0
+    skipped: bool = False
+
+    @classmethod
+    def deadline_skip(cls, task: StartTask) -> "StartResult":
+        return cls(index=task.index, x0=task.x0, x_star=task.x0, value=float("inf"), skipped=True)
+
+
+def run_start(program: InstrumentedProgram, params: StartParams, task: StartTask) -> StartResult:
+    """Execute one start against ``task``'s saturation snapshot."""
+    if params.deadline is not None and time.time() >= params.deadline:
+        return StartResult.deadline_skip(task)
+
+    tracker = SaturationTracker(
+        program, covered=set(task.covered), infeasible=set(task.infeasible)
+    )
+    representing = RepresentingFunction(program, tracker, epsilon=params.epsilon)
+    rng = np.random.default_rng([params.root_seed, _STREAM_WORKER, task.index])
+    found: dict[str, np.ndarray] = {}
+
+    def callback(x: np.ndarray, f: float, _accepted: bool) -> bool:
+        if f <= params.zero_tolerance:
+            found["x"] = np.array(x, dtype=float, copy=True)
+            return True
+        return False
+
+    backend = get_backend(params.backend)
+    result = backend(
+        representing,
+        np.asarray(task.x0, dtype=float),
+        n_iter=params.n_iter,
+        local_minimizer=params.local_minimizer,
+        step_size=params.step_size,
+        temperature=params.temperature,
+        rng=rng,
+        callback=callback,
+        local_options={"max_iterations": params.local_max_iterations},
+    )
+    x_star = found["x"] if "x" in found else result.x
+    value, record = representing.evaluate_with_record(x_star)
+    last = record.last
+    return StartResult(
+        index=task.index,
+        x0=task.x0,
+        x_star=tuple(float(v) for v in np.atleast_1d(x_star)),
+        value=float(value),
+        covered=frozenset(record.covered),
+        last_conditional=None if last is None else last.conditional,
+        last_outcome=None if last is None else last.outcome,
+        evaluations=representing.evaluations,
+    )
+
+
+# -- process-pool side ----------------------------------------------------------------
+
+#: Per-worker-process cache of instrumented programs, keyed by origin.
+_PROGRAM_CACHE: dict[tuple, InstrumentedProgram] = {}
+
+
+def _origin_key(origin: ProgramOrigin) -> tuple:
+    return (
+        origin.target.__module__,
+        origin.target.__qualname__,
+        tuple((f.__module__, f.__qualname__) for f in origin.extra_functions),
+        origin.signature,
+    )
+
+
+def run_chunk_in_worker(
+    origin: ProgramOrigin, params: StartParams, tasks: list[StartTask]
+) -> list[StartResult]:
+    """Process-pool entry point: instrument (cached) then run a chunk of starts."""
+    key = _origin_key(origin)
+    program = _PROGRAM_CACHE.get(key)
+    if program is None:
+        program = instrument(
+            origin.target,
+            extra_functions=origin.extra_functions,
+            signature=origin.signature,
+        )
+        _PROGRAM_CACHE[key] = program
+    return [run_start(program, params, task) for task in tasks]
+
+
+def origin_is_picklable(origin: Optional[ProgramOrigin]) -> bool:
+    """True when the program's origin can be shipped to a worker process."""
+    if origin is None:
+        return False
+    try:
+        pickle.dumps(origin)
+    except Exception:
+        return False
+    return True

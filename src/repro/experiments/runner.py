@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import dataclasses
+import functools
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
@@ -11,6 +13,7 @@ from repro.core.config import CoverMeConfig
 from repro.core.coverme import CoverMe
 from repro.core.report import ToolRunSummary
 from repro.coverage.line import LineCoverage
+from repro.engine.pool import parallel_map
 from repro.fdlibm.suite import BENCHMARKS, BenchmarkCase
 from repro.instrument.program import InstrumentedProgram, instrument
 from repro.instrument.signature import ProgramSignature
@@ -33,6 +36,8 @@ class Profile:
     baseline_execution_factor: int
     baseline_min_executions: int
     seed: int = 0
+    n_workers: int = 1
+    start_strategy: str = "random-normal"
 
     def coverme_config(self) -> CoverMeConfig:
         return CoverMeConfig(
@@ -41,6 +46,8 @@ class Profile:
             local_minimizer="powell",
             seed=self.seed,
             time_budget=self.coverme_time_budget,
+            n_workers=self.n_workers,
+            start_strategy=self.start_strategy,
         )
 
 
@@ -101,9 +108,7 @@ class CoverMeTool:
     def generate(self, program: InstrumentedProgram, budget: Budget):
         config = self.config
         if budget.max_seconds is not None:
-            config = CoverMeConfig(
-                **{**config.__dict__, "time_budget": budget.max_seconds}
-            )
+            config = dataclasses.replace(config, time_budget=budget.max_seconds)
         result = CoverMe(program, config).run()
         self.last_evaluations = result.evaluations
         return result.inputs
@@ -124,50 +129,79 @@ def instrument_case(case: BenchmarkCase) -> InstrumentedProgram:
     return instrument(case.entry, signature=signature)
 
 
-def compare_tools(
+def run_case(
+    case: BenchmarkCase,
     tool_factories: dict[str, Callable[[Profile], object]],
     profile: Profile,
-    cases: Optional[Iterable[BenchmarkCase]] = None,
     measure_lines: bool = False,
-) -> list[ComparisonRow]:
-    """Run every tool on every benchmark case and collect per-row results.
+) -> ComparisonRow:
+    """Run every tool on one benchmark case.
 
     ``CoverMe`` (when present) runs first so the baselines can be given a
     budget proportional to its effort, mirroring the paper's "ten times the
     CoverMe time" rule with an execution-count analogue.
     """
+    program = instrument_case(case)
+    row = ComparisonRow(case=case, n_branches=program.n_branches)
+    coverme_effort = profile.baseline_min_executions
+    ordered = sorted(tool_factories.items(), key=lambda item: item[0] != "CoverMe")
+    for tool_name, factory in ordered:
+        tool = factory(profile)
+        if tool_name == "CoverMe":
+            budget = Budget(max_seconds=profile.coverme_time_budget)
+        else:
+            budget = Budget(
+                max_executions=max(
+                    profile.baseline_min_executions,
+                    profile.baseline_execution_factor * coverme_effort,
+                ),
+                max_seconds=(
+                    profile.coverme_time_budget * profile.baseline_execution_factor
+                    if profile.coverme_time_budget is not None
+                    else None
+                ),
+            )
+        summary = run_tool(tool, program, budget, original=case.entry if measure_lines else None)
+        if tool_name == "CoverMe" and isinstance(tool, CoverMeTool):
+            coverme_effort = max(tool.last_evaluations, profile.baseline_min_executions)
+        row.results[tool_name] = summary
+    return row
+
+
+def compare_tools(
+    tool_factories: dict[str, Callable[[Profile], object]],
+    profile: Profile,
+    cases: Optional[Iterable[BenchmarkCase]] = None,
+    measure_lines: bool = False,
+    n_workers: int = 1,
+    worker_mode: str = "thread",
+) -> list[ComparisonRow]:
+    """Run every tool on every benchmark case and collect per-row results.
+
+    Cases are independent of one another (each instruments its own program
+    and seeds its own tools), so with ``n_workers > 1`` they are dispatched
+    to the engine's worker pool and the rows are still returned in case
+    order regardless of worker count.  The default ``"thread"`` mode keeps
+    every factory usable (including closures) but the cases are CPU-bound
+    pure Python, so it mostly overlaps the NumPy/SciPy sections that release
+    the GIL; for real wall-clock speedup pass ``worker_mode="process"``,
+    which requires picklable ``tool_factories`` (module-level functions, not
+    lambdas).
+    """
     selected = list(cases) if cases is not None else list(BENCHMARKS)
     if profile.max_cases is not None:
         selected = selected[: profile.max_cases]
-
-    rows: list[ComparisonRow] = []
-    for case in selected:
-        program = instrument_case(case)
-        row = ComparisonRow(case=case, n_branches=program.n_branches)
-        coverme_effort = profile.baseline_min_executions
-        ordered = sorted(tool_factories.items(), key=lambda item: item[0] != "CoverMe")
-        for tool_name, factory in ordered:
-            tool = factory(profile)
-            if tool_name == "CoverMe":
-                budget = Budget(max_seconds=profile.coverme_time_budget)
-            else:
-                budget = Budget(
-                    max_executions=max(
-                        profile.baseline_min_executions,
-                        profile.baseline_execution_factor * coverme_effort,
-                    ),
-                    max_seconds=(
-                        profile.coverme_time_budget * profile.baseline_execution_factor
-                        if profile.coverme_time_budget is not None
-                        else None
-                    ),
-                )
-            summary = run_tool(tool, program, budget, original=case.entry if measure_lines else None)
-            if tool_name == "CoverMe" and isinstance(tool, CoverMeTool):
-                coverme_effort = max(tool.last_evaluations, profile.baseline_min_executions)
-            row.results[tool_name] = summary
-        rows.append(row)
-    return rows
+    return parallel_map(
+        functools.partial(
+            run_case,
+            tool_factories=tool_factories,
+            profile=profile,
+            measure_lines=measure_lines,
+        ),
+        selected,
+        n_workers=n_workers,
+        mode=worker_mode,
+    )
 
 
 def mean(values: Sequence[float]) -> float:

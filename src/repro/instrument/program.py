@@ -37,6 +37,21 @@ class InstrumentationError(RuntimeError):
     """Raised when a function cannot be instrumented (e.g. no source)."""
 
 
+@dataclass(frozen=True)
+class ProgramOrigin:
+    """The recipe an :class:`InstrumentedProgram` was built from.
+
+    Keeping the original (uninstrumented) callables around makes the program
+    *clonable*: worker threads get independent compiled namespaces, and
+    worker processes can rebuild the program from the picklable function
+    references instead of shipping compiled code across the process boundary.
+    """
+
+    target: Callable
+    extra_functions: tuple[Callable, ...] = ()
+    signature: Optional[ProgramSignature] = None
+
+
 @dataclass
 class InstrumentedProgram:
     """A compiled, instrumented program under test.
@@ -46,6 +61,8 @@ class InstrumentedProgram:
         signature: Input-domain description of the entry function.
         conditionals: Static metadata for every instrumented conditional.
         descendants: Descendant-branch analysis used by saturation tracking.
+        origin: Build recipe enabling :meth:`clone`; ``None`` for programs
+            assembled by hand.
     """
 
     name: str
@@ -55,6 +72,7 @@ class InstrumentedProgram:
     entry: Callable = field(repr=False)
     handle: RuntimeHandle = field(repr=False)
     source: str = field(repr=False, default="")
+    origin: Optional[ProgramOrigin] = field(repr=False, default=None)
 
     @property
     def arity(self) -> int:
@@ -102,6 +120,23 @@ class InstrumentedProgram:
         r, record = runtime.end()
         return value, r, record
 
+    def clone(self) -> "InstrumentedProgram":
+        """Re-instrument this program into a fresh namespace and runtime handle.
+
+        Each clone owns its compiled code and :class:`RuntimeHandle`, so
+        clones can execute concurrently (one per worker thread) without
+        racing on the installed runtime.  Requires :attr:`origin`.
+        """
+        if self.origin is None:
+            raise InstrumentationError(
+                f"program {self.name!r} was not built by instrument() and cannot be cloned"
+            )
+        return instrument(
+            self.origin.target,
+            extra_functions=self.origin.extra_functions,
+            signature=self.origin.signature,
+        )
+
 
 def instrument(
     func: Callable,
@@ -124,6 +159,7 @@ def instrument(
         An :class:`InstrumentedProgram`.
     """
     handle = RuntimeHandle()
+    extra_functions = tuple(extra_functions)
     targets = [func, *extra_functions]
 
     # Build the shared namespace first so instrumented definitions (added in
@@ -166,4 +202,5 @@ def instrument(
         entry=entry,
         handle=handle,
         source="\n\n".join(sources),
+        origin=ProgramOrigin(target=func, extra_functions=extra_functions, signature=signature),
     )

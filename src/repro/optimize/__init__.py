@@ -15,23 +15,39 @@ This package provides:
 
 from repro.optimize.basinhopping import basinhopping
 from repro.optimize.local import (
+    available_local_minimizers,
     compass_search,
     get_local_minimizer,
     nelder_mead,
     powell,
+    register_local_minimizer,
+    unregister_local_minimizer,
 )
 from repro.optimize.mcmc import metropolis_accept, propose_perturbation
+from repro.optimize.registry import (
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
 from repro.optimize.result import OptimizeResult
 from repro.optimize.scipy_backend import scipy_basinhopping
 
 __all__ = [
     "OptimizeResult",
+    "available_backends",
+    "available_local_minimizers",
     "basinhopping",
     "compass_search",
+    "get_backend",
     "get_local_minimizer",
     "metropolis_accept",
     "nelder_mead",
     "powell",
     "propose_perturbation",
+    "register_backend",
+    "register_local_minimizer",
     "scipy_basinhopping",
+    "unregister_backend",
+    "unregister_local_minimizer",
 ]

@@ -1,0 +1,63 @@
+"""Shared plumbing for the optimizer name registries.
+
+Both the global-backend registry (:mod:`repro.optimize.registry`) and the
+local-minimizer registry (:mod:`repro.optimize.local`) are case-insensitive
+``name -> callable`` maps with the same rules: registration works as a
+decorator or a plain call, re-registering an existing name raises unless
+``replace=True``, and unknown-name lookups raise a ``ValueError`` listing
+every known name.  This class is that shared behaviour, so fixes apply to
+both registries at once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+
+class Registry:
+    """A case-insensitive registry of named callables.
+
+    Args:
+        kind: Human-readable noun used in error messages
+            (e.g. ``"backend"``, ``"local minimizer"``).
+        initial: Entries present from the start (the built-ins).
+    """
+
+    def __init__(self, kind: str, initial: Optional[dict[str, Callable]] = None):
+        self.kind = kind
+        self._entries: dict[str, Callable] = {}
+        if initial:
+            for name, func in initial.items():
+                self.register(name, func)
+
+    def register(self, name: str, func: Optional[Callable] = None, *, replace: bool = False):
+        """Register ``func`` under ``name``; decorator when ``func`` is omitted."""
+        key = name.lower()
+
+        def _register(target: Callable) -> Callable:
+            if not callable(target):
+                raise TypeError(f"{self.kind} {name!r} must be callable, got {target!r}")
+            if key in self._entries and not replace:
+                raise ValueError(f"{self.kind} {name!r} is already registered")
+            self._entries[key] = target
+            return target
+
+        if func is not None:
+            return _register(func)
+        return _register
+
+    def get(self, name: str) -> Callable:
+        """Look up a registered callable by name (case-insensitive)."""
+        try:
+            return self._entries[name.lower()]
+        except KeyError:
+            known = ", ".join(self.available())
+            raise ValueError(f"unknown {self.kind} {name!r}; known: {known}") from None
+
+    def available(self) -> tuple[str, ...]:
+        """Every registered name, sorted."""
+        return tuple(sorted(self._entries))
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name`` if present (primarily for tests)."""
+        self._entries.pop(name.lower(), None)

@@ -12,29 +12,49 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.optimize._registry import Registry
 from repro.optimize.local.compass import compass_search
 from repro.optimize.local.line_search import bracket_minimum, golden_section, minimize_scalar
 from repro.optimize.local.nelder_mead import nelder_mead
 from repro.optimize.local.powell import powell
 
-_REGISTRY: dict[str, Callable] = {
-    "powell": powell,
-    "nelder-mead": nelder_mead,
-    "nelder_mead": nelder_mead,
-    "compass": compass_search,
-}
+_REGISTRY = Registry(
+    "local minimizer",
+    {
+        "powell": powell,
+        "nelder-mead": nelder_mead,
+        "nelder_mead": nelder_mead,
+        "compass": compass_search,
+    },
+)
+
+
+def register_local_minimizer(name: str, func: Callable | None = None, *, replace: bool = False):
+    """Register a local minimizer (the ``LM`` of Algorithm 1) under ``name``.
+
+    Usable as a decorator or a plain call, mirroring
+    :func:`repro.optimize.registry.register_backend`.
+    """
+    return _REGISTRY.register(name, func, replace=replace)
 
 
 def get_local_minimizer(name: str) -> Callable:
     """Look up a local minimizer by name (case-insensitive)."""
-    try:
-        return _REGISTRY[name.lower()]
-    except KeyError:
-        known = ", ".join(sorted(set(_REGISTRY)))
-        raise ValueError(f"unknown local minimizer {name!r}; known: {known}") from None
+    return _REGISTRY.get(name)
+
+
+def available_local_minimizers() -> tuple[str, ...]:
+    """Names of every registered local minimizer, sorted."""
+    return _REGISTRY.available()
+
+
+def unregister_local_minimizer(name: str) -> None:
+    """Remove a local minimizer from the registry (primarily for tests)."""
+    _REGISTRY.unregister(name)
 
 
 __all__ = [
+    "available_local_minimizers",
     "bracket_minimum",
     "compass_search",
     "get_local_minimizer",
@@ -42,4 +62,6 @@ __all__ = [
     "minimize_scalar",
     "nelder_mead",
     "powell",
+    "register_local_minimizer",
+    "unregister_local_minimizer",
 ]

@@ -1,0 +1,87 @@
+"""Registries for the pluggable unconstrained-programming backends.
+
+The paper's theoretical guarantee (Thm. 4.3) holds for *any* algorithm that
+searches ``R^n`` for minimum points of the representing function, which the
+extended version of the paper frames as an interchangeable Step-3 backend.
+This module makes that interchangeability first-class: global (basin-hopping
+style) backends register themselves by name via :func:`register_backend`, the
+driver looks them up via :func:`get_backend`, and the configuration layer
+validates user-supplied names against :func:`available_backends`.
+
+A registered backend is a callable with the signature of
+:func:`repro.optimize.basinhopping.basinhopping`::
+
+    backend(func, x0, n_iter=..., local_minimizer=..., step_size=...,
+            temperature=..., rng=..., callback=..., local_options=...)
+        -> OptimizeResult
+
+The local-minimizer registry of :mod:`repro.optimize.local` is re-exported
+here so that one namespace validates every optimizer name the configuration
+accepts (the ``LM`` names and the global backend names).
+
+Registries are per-process state.  Engine runs that use *process* workers
+started via spawn or forkserver (Windows, macOS, or any multithreaded parent
+on POSIX) re-import modules in each worker, so a custom backend must be
+registered at import time of a module the workers also import -- a backend
+registered only at script run time is visible to fork-started workers but
+not to spawned ones.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.optimize._registry import Registry
+from repro.optimize.basinhopping import basinhopping
+from repro.optimize.local import (
+    available_local_minimizers,
+    get_local_minimizer,
+    register_local_minimizer,
+    unregister_local_minimizer,
+)
+from repro.optimize.scipy_backend import scipy_basinhopping
+
+_BACKENDS = Registry(
+    "backend",
+    {
+        "builtin": basinhopping,
+        "scipy": scipy_basinhopping,
+    },
+)
+
+
+def register_backend(name: str, func: Optional[Callable] = None, *, replace: bool = False):
+    """Register a global optimization backend under ``name``.
+
+    Usable as a decorator (``@register_backend("mine")``) or a plain call
+    (``register_backend("mine", my_backend)``).  Re-registering an existing
+    name raises unless ``replace=True`` so typos cannot silently shadow the
+    built-in backends.
+    """
+    return _BACKENDS.register(name, func, replace=replace)
+
+
+def get_backend(name: str) -> Callable:
+    """Look up a registered backend by name (case-insensitive)."""
+    return _BACKENDS.get(name)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of every registered backend, sorted."""
+    return _BACKENDS.available()
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend from the registry (primarily for tests)."""
+    _BACKENDS.unregister(name)
+
+__all__ = [
+    "available_backends",
+    "available_local_minimizers",
+    "get_backend",
+    "get_local_minimizer",
+    "register_backend",
+    "register_local_minimizer",
+    "unregister_backend",
+    "unregister_local_minimizer",
+]

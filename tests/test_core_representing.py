@@ -87,6 +87,23 @@ class TestConditionC2:
         assert foo_r([0.0]) == pytest.approx(9.0)  # ((0+1)^2-4)^2 = 9
 
 
+class TestNonFiniteClamping:
+    """Optimizers must never observe NaN or +/-inf objective values."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_register_values_clamped(self, bad, monkeypatch):
+        from repro.instrument.runtime import ExecutionRecord
+
+        program = instrument(sp.single_branch)
+        foo_r = RepresentingFunction(program)
+        monkeypatch.setattr(
+            program, "run", lambda args, runtime=None: (None, bad, ExecutionRecord())
+        )
+        value = foo_r([0.0])
+        assert value == 1.0e300
+        assert value == foo_r.last_value
+
+
 class TestInterface:
     def test_scalar_and_vector_inputs_agree(self):
         _, _, foo_r = fresh(sp.paper_foo)
