@@ -1,0 +1,162 @@
+"""Evaluation throughput of the two-tier execution runtime.
+
+The paper's bet is that minimizing the representing function is cheap because
+each evaluation "is just an execution of the instrumented program"; the
+engine issues millions of them.  This bench measures evaluations/sec of
+``FOO_R`` under each :class:`~repro.instrument.runtime.ExecutionProfile` on
+branch-dense Fdlibm functions and asserts the two runtime guarantees:
+
+* the allocation-free ``PENALTY_ONLY`` profile is at least 3x faster than
+  the recording ``FULL_TRACE`` profile (geometric mean over the workload);
+* all profiles compute bit-identical objective values.
+
+The measured numbers are written to ``BENCH_eval_throughput.json`` (in
+``REPRO_BENCH_OUTPUT_DIR`` or the working directory) so CI can track the
+perf trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.representing import RepresentingFunction
+from repro.core.saturation import SaturationTracker
+from repro.experiments.runner import instrument_case
+from repro.fdlibm.suite import BENCHMARKS
+from repro.instrument.runtime import ExecutionProfile, Runtime
+
+#: Branch-dense workload: functions whose conditionals (not their arithmetic)
+#: dominate execution time, i.e. where the per-conditional runtime tax is
+#: actually measurable.
+WORKLOAD_FUNCTIONS = (
+    "floor",
+    "nextafter",
+    "ieee754_fmod",
+    "ieee754_pow",
+    "ieee754_rem_pio2",
+    "expm1",
+)
+TARGET_SPEEDUP = 3.0
+POINTS = 150
+REPEATS = 6
+
+
+def _workload_cases():
+    by_name = {case.function.split("(")[0]: case for case in BENCHMARKS}
+    return [(name, by_name[name]) for name in WORKLOAD_FUNCTIONS if name in by_name]
+
+
+def _prepared(case):
+    """Instrument one case and partially saturate its tracker.
+
+    A handful of seed executions produce the realistic mid-search state: some
+    conditionals fully saturated (penalty fast path keeps r), some half
+    saturated (distance computed), some untouched.
+    """
+    rng = np.random.default_rng(7)
+    program = instrument_case(case)
+    tracker = SaturationTracker(program)
+    for _ in range(6):
+        x = tuple(rng.normal(scale=100.0, size=program.arity))
+        _, _, record = program.run(x, runtime=Runtime())
+        tracker.add_execution(record)
+    points = [rng.normal(scale=10.0, size=program.arity) for _ in range(POINTS)]
+    return program, tracker, points
+
+
+def _throughput(program, tracker, points, profile) -> tuple[float, list[float]]:
+    representing = RepresentingFunction(program, tracker, profile=profile)
+    values = [representing(x) for x in points]  # warm-up + value capture
+    started = time.perf_counter()
+    for _ in range(REPEATS):
+        for x in points:
+            representing(x)
+    elapsed = time.perf_counter() - started
+    return (REPEATS * len(points)) / elapsed, values
+
+
+def test_eval_throughput_and_profile_equivalence(bench_report_dir):
+    cases = _workload_cases()
+    assert cases, "workload functions missing from the suite"
+
+    per_function: dict[str, dict[str, float]] = {}
+    ratios = []
+    for name, case in cases:
+        program, tracker, points = _prepared(case)
+        rates: dict[str, float] = {}
+        values_by_profile = {}
+        for profile in ExecutionProfile:
+            rates[profile.value], values_by_profile[profile] = _throughput(
+                program, tracker, points, profile
+            )
+        # Bit-identical objective values across all three profiles.
+        reference = values_by_profile[ExecutionProfile.FULL_TRACE]
+        for profile, values in values_by_profile.items():
+            assert values == reference, f"{name}: {profile.value} diverges from full-trace"
+        ratio = rates[ExecutionProfile.PENALTY_ONLY.value] / rates[ExecutionProfile.FULL_TRACE.value]
+        per_function[name] = {**rates, "penalty_vs_full_trace": ratio}
+        ratios.append(ratio)
+
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    report = {
+        "workload": [name for name, _ in cases],
+        "points_per_function": POINTS * (REPEATS + 1),
+        "evals_per_sec": per_function,
+        "penalty_vs_full_trace_geomean": geomean,
+        "target_speedup": TARGET_SPEEDUP,
+    }
+    payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    (bench_report_dir / "BENCH_eval_throughput.json").write_text(payload)
+    out_dir = os.environ.get("REPRO_BENCH_OUTPUT_DIR")
+    if out_dir:  # CI sets this to collect the artifact across PRs
+        (Path(out_dir) / "BENCH_eval_throughput.json").write_text(payload)
+    print(f"\npenalty-only vs full-trace: geomean {geomean:.2f}x over {len(ratios)} functions")
+    for name, stats in per_function.items():
+        print(
+            f"  {name:20s} penalty {stats['penalty']:>10,.0f}/s  "
+            f"coverage {stats['coverage']:>10,.0f}/s  "
+            f"full-trace {stats['full-trace']:>10,.0f}/s  "
+            f"({stats['penalty_vs_full_trace']:.2f}x)"
+        )
+    assert geomean >= TARGET_SPEEDUP, (
+        f"expected >= {TARGET_SPEEDUP}x penalty-only vs full-trace, measured {geomean:.2f}x"
+    )
+
+
+def test_memoized_start_reduces_executions():
+    """The bit-pattern memo cuts true executions without changing the result."""
+    from repro.optimize.basinhopping import basinhopping
+
+    name, case = _workload_cases()[0]
+    outcomes = {}
+    for memoize in (False, True):
+        program, tracker, _ = _prepared(case)
+        representing = RepresentingFunction(
+            program, tracker, profile=ExecutionProfile.PENALTY_ONLY
+        )
+        result = basinhopping(
+            representing,
+            np.full(program.arity, 2.5),
+            n_iter=4,
+            rng=np.random.default_rng(3),
+            memoize=memoize,
+            local_options={"max_iterations": 40},
+        )
+        key = (float(result.fun), tuple(float(v) for v in result.x))
+        outcomes[memoize] = (key, representing.evaluations, result.nfev)
+
+    (key_plain, execs_plain, nfev_plain) = outcomes[False]
+    (key_memo, execs_memo, nfev_memo) = outcomes[True]
+    assert key_memo == key_plain, "memoization changed the search result"
+    assert nfev_memo == nfev_plain, "memoization changed the trajectory"
+    assert execs_memo < execs_plain, "memo served no repeated evaluations"
+    print(
+        f"\n{name}: {execs_plain} executions unmemoized -> {execs_memo} memoized "
+        f"({100.0 * (1 - execs_memo / execs_plain):.0f}% served from cache)"
+    )

@@ -42,10 +42,10 @@ from repro.core.representing import RepresentingFunction
 from repro.core.saturation import SaturationTracker
 from repro.engine import SearchEngine, StartScheduler
 from repro.instrument.program import InstrumentedProgram, instrument
-from repro.instrument.runtime import BranchId
+from repro.instrument.runtime import BranchId, ExecutionProfile
 from repro.optimize.registry import available_backends, get_backend, register_backend
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CoverMe",
@@ -58,6 +58,7 @@ __all__ = [
     "InstrumentedProgram",
     "instrument",
     "BranchId",
+    "ExecutionProfile",
     "available_backends",
     "branch_distance",
     "get_backend",

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.branch_distance import DEFAULT_EPSILON
+from repro.instrument.runtime import EXECUTION_PROFILES, ExecutionProfile
 
 #: Fixed default batch size of the search engine.  The batch is the unit of
 #: snapshot freshness *and* the unit of parallel dispatch; it is a constant
@@ -60,6 +61,18 @@ class CoverMeConfig:
             one saturation snapshot.  ``None`` selects the engine default.
             Must not depend on ``n_workers`` or seeded runs lose their
             worker-count independence.
+        eval_profile: Execution profile of the optimizer inner loop --
+            ``"penalty"`` (allocation-free fast runtime, the default),
+            ``"coverage"`` or ``"full-trace"`` (the recording runtime).  All
+            profiles compute bit-identical representing-function values and
+            produce identical seeded results; richer profiles only retain
+            more per-execution data (and run slower).  Accepted minima are
+            always re-executed under at least the coverage profile, so the
+            reduction sees the same branch sets regardless of this setting.
+        memoize: Serve repeated objective evaluations at bit-identical
+            inputs from a per-start memo cache instead of re-executing the
+            program.  Values and seeded trajectories are unchanged; only the
+            execution count drops.
     """
 
     n_start: int = 100
@@ -81,6 +94,8 @@ class CoverMeConfig:
     worker_mode: str = "auto"
     start_strategy: str = "random-normal"
     batch_size: Optional[int] = None
+    eval_profile: str = ExecutionProfile.PENALTY_ONLY.value
+    memoize: bool = True
 
     def __post_init__(self) -> None:
         # Imported lazily: the registries live above repro.core in the layer
@@ -119,6 +134,9 @@ class CoverMeConfig:
             raise ValueError(f"unknown start strategy {self.start_strategy!r}; known: {known}")
         if self.batch_size is not None and self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if self.eval_profile not in EXECUTION_PROFILES:
+            known = ", ".join(EXECUTION_PROFILES)
+            raise ValueError(f"unknown eval profile {self.eval_profile!r}; known: {known}")
 
     def effective_batch_size(self) -> int:
         """The batch size the engine actually uses."""

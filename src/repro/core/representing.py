@@ -11,6 +11,17 @@ instrumented program on ``x`` and returns the final value of ``r``.  With the
 
 The object is a plain callable ``R^n -> R`` so that any unconstrained
 programming backend can minimize it as a black box.
+
+Evaluation runs under a configurable
+:class:`~repro.instrument.runtime.ExecutionProfile`.  ``FULL_TRACE`` (the
+default) keeps today's recording behavior: every call leaves a complete
+:class:`ExecutionRecord` in :attr:`RepresentingFunction.last_record`.  The
+``PENALTY_ONLY`` and ``COVERAGE`` profiles run on the allocation-free
+:class:`~repro.instrument.runtime.FastRuntime` -- the optimizer inner loop
+only consumes the scalar ``r``, so per-conditional trace objects are pure
+overhead there.  All profiles compute bit-identical values; callers that need
+coverage from a specific point (e.g. an accepted minimum) re-execute it via
+:meth:`RepresentingFunction.evaluate_with_coverage`.
 """
 
 from __future__ import annotations
@@ -24,7 +35,19 @@ from repro.core.branch_distance import DEFAULT_EPSILON
 from repro.core.pen import CoverMePenalty
 from repro.core.saturation import SaturationTracker
 from repro.instrument.program import InstrumentedProgram
-from repro.instrument.runtime import ExecutionRecord, Runtime
+from repro.instrument.runtime import (
+    CoverageOutcome,
+    ExecutionProfile,
+    ExecutionRecord,
+    FastRuntime,
+    Runtime,
+)
+
+#: Large finite stand-in for non-finite register values; see __call__.
+_CLAMP = 1.0e300
+
+#: Exceptions the program under test may raise that must not escape FOO_R.
+_SWALLOWED = (ArithmeticError, ValueError, OverflowError)
 
 
 class RepresentingFunction:
@@ -35,14 +58,21 @@ class RepresentingFunction:
         program: InstrumentedProgram,
         tracker: Optional[SaturationTracker] = None,
         epsilon: float = DEFAULT_EPSILON,
+        profile: ExecutionProfile | str = ExecutionProfile.FULL_TRACE,
     ):
         self.program = program
         self.tracker = tracker if tracker is not None else SaturationTracker(program)
         self.epsilon = epsilon
-        self._runtime = Runtime(policy=CoverMePenalty(self.tracker, epsilon), epsilon=epsilon)
+        self.profile = ExecutionProfile(profile)
         self.evaluations = 0
         self.last_record: Optional[ExecutionRecord] = None
         self.last_value: Optional[float] = None
+        if self.profile is ExecutionProfile.FULL_TRACE:
+            self._fast: Optional[FastRuntime] = None
+            self._runtime = Runtime(policy=CoverMePenalty(self.tracker, epsilon), epsilon=epsilon)
+        else:
+            self._fast = FastRuntime(program.n_conditionals, epsilon=epsilon)
+            self._runtime = None
 
     @property
     def arity(self) -> int:
@@ -52,30 +82,83 @@ class RepresentingFunction:
         """Evaluate ``FOO_R`` at ``x`` (a scalar or a length-``arity`` vector)."""
         args = self._coerce(x)
         self.evaluations += 1
-        _, r, record = self.program.run(args, runtime=self._runtime)
-        self.last_record = record
+        fast = self._fast
+        if fast is not None:
+            # Fast profiles: install + begin resynchronize the saturation
+            # snapshot from the (possibly updated) tracker, then the program
+            # body runs with zero per-conditional allocations.
+            program = self.program
+            program.handle.install(fast)
+            fast.begin(self.tracker.saturated_mask)
+            try:
+                program.entry(*args)
+            except _SWALLOWED:
+                pass
+            r = fast.r
+            self.last_record = None
+        else:
+            _, r, record = self.program.run(args, runtime=self._runtime)
+            self.last_record = record
         if not math.isfinite(r):
             # NaN carries no gradient, and +/-inf (e.g. summed overflow-guard
             # distances of an ``and`` test) would poison any optimizer that
             # compares or subtracts objective values; clamp all three to the
             # same large finite penalty so C1 (FOO_R >= 0) holds numerically.
-            r = 1.0e300
+            r = _CLAMP
         self.last_value = r
         return r
 
     def evaluate_with_record(self, x) -> tuple[float, ExecutionRecord]:
-        """Evaluate and also return the execution record (used by the driver)."""
+        """Evaluate and also return the full execution record.
+
+        Always runs under ``FULL_TRACE`` semantics regardless of the
+        configured profile, so trace consumers keep working; prefer
+        :meth:`evaluate_with_coverage` when the path is not needed.
+        """
+        if self._fast is None:
+            value = self(x)
+            assert self.last_record is not None
+            return value, self.last_record
+        args = self._coerce(x)
+        self.evaluations += 1
+        runtime = Runtime(policy=CoverMePenalty(self.tracker, self.epsilon), epsilon=self.epsilon)
+        _, r, record = self.program.run(args, runtime=runtime)
+        if not math.isfinite(r):
+            r = _CLAMP
+        self.last_record = record
+        self.last_value = r
+        return r, record
+
+    def evaluate_with_coverage(self, x) -> tuple[float, CoverageOutcome]:
+        """Evaluate and return the coverage-profile outcome.
+
+        This is what the engine calls on an accepted minimum: the covered
+        branches plus the last executed conditional (for the
+        infeasible-branch heuristic), without materializing the path.  Under
+        ``FULL_TRACE`` the same data is distilled from the record so every
+        profile returns identical outcomes.
+        """
+        if self._fast is None:
+            value, record = self.evaluate_with_record(x)
+            last = record.last
+            return value, CoverageOutcome(
+                covered=frozenset(record.covered),
+                last_conditional=None if last is None else last.conditional,
+                last_outcome=None if last is None else last.outcome,
+            )
         value = self(x)
-        assert self.last_record is not None
-        return value, self.last_record
+        return value, self._fast.snapshot()
 
     # -- helpers -------------------------------------------------------------------
 
     def _coerce(self, x) -> tuple[float, ...]:
-        if isinstance(x, (int, float)) and not isinstance(x, bool):
+        if isinstance(x, np.ndarray):
+            arr = np.atleast_1d(x).ravel()
+            # float64 tolist() yields Python floats directly (the optimizer
+            # hot path); other dtypes go through an explicit conversion.
+            values = arr.tolist() if arr.dtype == np.float64 else [float(v) for v in arr]
+        elif isinstance(x, (int, float)) and not isinstance(x, bool):
             values = [float(x)]
-        elif isinstance(x, np.ndarray):
-            values = [float(v) for v in np.atleast_1d(x).ravel()]
         elif isinstance(x, Sequence):
             values = [float(v) for v in x]
         else:

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.instrument.program import InstrumentedProgram
-from repro.instrument.runtime import BranchId, ExecutionRecord
+from repro.instrument.runtime import BranchId, ExecutionRecord, branch_mask, branches_from_mask
 
 
 @dataclass
@@ -28,6 +28,7 @@ class SaturationTracker:
     covered: set[BranchId] = field(default_factory=set)
     infeasible: set[BranchId] = field(default_factory=set)
     _saturated: frozenset[BranchId] = field(default_factory=frozenset)
+    _saturated_mask: int = 0
 
     def __post_init__(self) -> None:
         self._recompute()
@@ -53,6 +54,17 @@ class SaturationTracker:
             self._recompute()
         return new
 
+    def add_covered_mask(self, mask: int) -> set[BranchId]:
+        """Mark the branches of a flat bitmask as covered.
+
+        Convenience for mask-based consumers, e.g. feeding back the bitset a
+        ``PENALTY_ONLY`` :meth:`~repro.instrument.program.InstrumentedProgram.run_profiled`
+        call returned.  The engine's reduction itself folds ``BranchId`` sets
+        from :class:`~repro.instrument.runtime.CoverageOutcome` via
+        :meth:`add_covered`.
+        """
+        return self.add_covered(set(branches_from_mask(mask)))
+
     def mark_infeasible(self, branch: BranchId) -> None:
         """Apply the infeasible-branch heuristic: treat ``branch`` as saturated."""
         if branch not in self.infeasible:
@@ -65,6 +77,16 @@ class SaturationTracker:
     def saturated(self) -> frozenset[BranchId]:
         """The set ``Saturate`` used by the penalty function."""
         return self._saturated
+
+    @property
+    def saturated_mask(self) -> int:
+        """``Saturate`` as a flat bitmask, maintained incrementally.
+
+        This is what the allocation-free runtime's inlined penalty consumes
+        (:class:`~repro.instrument.runtime.FastRuntime`); it is recomputed
+        only when the tracker's state changes, never per evaluation.
+        """
+        return self._saturated_mask
 
     def is_saturated(self, branch: BranchId) -> bool:
         return branch in self._saturated
@@ -110,3 +132,4 @@ class SaturationTracker:
             if descendants <= effective:
                 saturated.add(branch)
         self._saturated = frozenset(saturated)
+        self._saturated_mask = branch_mask(saturated)

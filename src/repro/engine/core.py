@@ -98,6 +98,8 @@ class SearchEngine:
             epsilon=config.epsilon,
             root_seed=self.root_seed,
             deadline=deadline,
+            eval_profile=config.eval_profile,
+            memoize=config.memoize,
         )
 
         inputs: list[tuple[float, ...]] = []

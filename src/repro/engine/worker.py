@@ -3,10 +3,15 @@
 A *start* is one basin-hopping launch of Algorithm 1's loop body (lines
 9-13): minimize the representing function from one starting point against a
 frozen snapshot of the saturation state, then evaluate the found minimum once
-more to obtain its execution record.  Starts within a batch share the same
-snapshot, which makes them independent of one another -- the property that
-lets the engine run them on any number of workers and still merge the results
-deterministically.
+more to obtain its coverage outcome.  The minimization loop runs under the
+cheapest sufficient execution profile (``PENALTY_ONLY`` by default -- the
+optimizer only reads the scalar objective) with an optional bit-pattern memo
+cache in front of the objective; the final evaluation always retains at
+least ``COVERAGE`` so the reduction sees the covered branches and the
+infeasible heuristic's last conditional.  Starts within a batch share the
+same snapshot, which makes them independent of one another -- the property
+that lets the engine run them on any number of workers and still merge the
+results deterministically.
 
 The same :func:`run_start` body serves all three execution modes:
 
@@ -22,7 +27,7 @@ from __future__ import annotations
 
 import pickle
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -30,7 +35,8 @@ import numpy as np
 from repro.core.representing import RepresentingFunction
 from repro.core.saturation import SaturationTracker
 from repro.instrument.program import InstrumentedProgram, ProgramOrigin, instrument
-from repro.instrument.runtime import BranchId
+from repro.instrument.runtime import BranchId, ExecutionProfile
+from repro.optimize.memo import BitPatternMemo
 from repro.optimize.registry import get_backend
 
 #: Sub-stream tag keeping worker RNGs disjoint from the scheduler's draws.
@@ -51,6 +57,8 @@ class StartParams:
     epsilon: float
     root_seed: int
     deadline: Optional[float] = None
+    eval_profile: str = ExecutionProfile.PENALTY_ONLY.value
+    memoize: bool = True
 
 
 @dataclass(frozen=True)
@@ -90,7 +98,21 @@ def run_start(program: InstrumentedProgram, params: StartParams, task: StartTask
     tracker = SaturationTracker(
         program, covered=set(task.covered), infeasible=set(task.infeasible)
     )
-    representing = RepresentingFunction(program, tracker, epsilon=params.epsilon)
+    # The optimizer inner loop requests the cheapest sufficient profile: it
+    # only consumes the scalar objective, so the configured profile (default
+    # PENALTY_ONLY) drives the loop, and the accepted minimum is re-executed
+    # below with at least COVERAGE to harvest branches.  All profiles compute
+    # bit-identical values, so this choice never changes seeded results.
+    representing = RepresentingFunction(
+        program, tracker, epsilon=params.epsilon, profile=params.eval_profile
+    )
+    # Within one start the saturation snapshot is frozen, so FOO_R is a pure
+    # function of the input bits and memoizing it is sound.  The memo wraps
+    # the objective *outside* the backend, which keeps the backend protocol
+    # unchanged and works for any registered backend.
+    objective = (
+        BitPatternMemo(representing, arity=program.arity) if params.memoize else representing
+    )
     rng = np.random.default_rng([params.root_seed, _STREAM_WORKER, task.index])
     found: dict[str, np.ndarray] = {}
 
@@ -102,7 +124,7 @@ def run_start(program: InstrumentedProgram, params: StartParams, task: StartTask
 
     backend = get_backend(params.backend)
     result = backend(
-        representing,
+        objective,
         np.asarray(task.x0, dtype=float),
         n_iter=params.n_iter,
         local_minimizer=params.local_minimizer,
@@ -113,16 +135,15 @@ def run_start(program: InstrumentedProgram, params: StartParams, task: StartTask
         local_options={"max_iterations": params.local_max_iterations},
     )
     x_star = found["x"] if "x" in found else result.x
-    value, record = representing.evaluate_with_record(x_star)
-    last = record.last
+    value, coverage = representing.evaluate_with_coverage(x_star)
     return StartResult(
         index=task.index,
         x0=task.x0,
         x_star=tuple(float(v) for v in np.atleast_1d(x_star)),
         value=float(value),
-        covered=frozenset(record.covered),
-        last_conditional=None if last is None else last.conditional,
-        last_outcome=None if last is None else last.outcome,
+        covered=coverage.covered,
+        last_conditional=coverage.last_conditional,
+        last_outcome=coverage.last_outcome,
         evaluations=representing.evaluations,
     )
 

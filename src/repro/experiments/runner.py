@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import dataclasses
 import functools
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
@@ -12,7 +11,6 @@ from repro.baselines.harness import Budget, run_tool
 from repro.core.config import CoverMeConfig
 from repro.core.coverme import CoverMe
 from repro.core.report import ToolRunSummary
-from repro.coverage.line import LineCoverage
 from repro.engine.pool import parallel_map
 from repro.fdlibm.suite import BENCHMARKS, BenchmarkCase
 from repro.instrument.program import InstrumentedProgram, instrument

@@ -4,19 +4,25 @@ For every conditional statement ``l_i`` (``if`` or ``while``) of the program
 under test, the pass rewrites the test expression so that it is evaluated
 through the installed :class:`~repro.instrument.runtime.Runtime`:
 
-``if a <= b:``  becomes  ``if rt.resolve(i, "single", rt.cmp(i, "<=", a, b)):``
+``if a <= b:``  becomes  ``if rt.test(i, "<=", a, b):``
 
-``rt.cmp`` computes the branch distance of Def. 4.1 and returns the Boolean
-outcome, so the control flow of the program is unchanged; ``rt.resolve``
-applies the ``pen`` update of Def. 4.2 to the injected register ``r`` and
-records coverage.  This is exactly the effect of the paper's injected
-``r = pen(l_i, op, a, b)`` assignment placed before ``l_i``.
+The fused ``rt.test`` probe computes the branch distance of Def. 4.1,
+applies the ``pen`` update of Def. 4.2 to the injected register ``r``,
+records coverage and returns the Boolean outcome, so the control flow of the
+program is unchanged.  This is exactly the effect of the paper's injected
+``r = pen(l_i, op, a, b)`` assignment placed before ``l_i``, paid for with a
+single probe call on the hot path.
 
 Boolean combinations of comparisons (``a < b and c < d``) are supported as an
-extension: each comparison is instrumented individually and the distances are
-composed by the runtime.  Tests that are not comparisons over numbers fall
-back to :meth:`Runtime.truth`, mirroring how CoverMe promotes integer
-comparisons and ignores incomparable conditions (Sect. 5.3).
+extension: each comparison is instrumented individually via ``rt.cmp`` and
+the distances are composed by ``rt.resolve``:
+
+``if a < b and c < d:``  becomes
+``if rt.resolve(i, "and", rt.cmp(i, "<", a, b) and rt.cmp(i, "<", c, d)):``
+
+Tests that are not comparisons over numbers fall back to
+:meth:`Runtime.truth`, mirroring how CoverMe promotes integer comparisons and
+ignores incomparable conditions (Sect. 5.3).
 """
 
 from __future__ import annotations
@@ -149,10 +155,10 @@ class InstrumentationPass(ast.NodeTransformer):
     def _rewrite_test(self, label: int, test: ast.expr) -> ast.expr:
         simple = self._as_simple_comparison(test)
         if simple is not None:
+            # Single comparison: one fused probe call (the hot path).
             op, lhs, rhs = simple
             return self._call(
-                "resolve",
-                [ast.Constant(label), ast.Constant("single"), self._cmp_call(label, op, lhs, rhs)],
+                "test", [ast.Constant(label), ast.Constant(op), lhs, rhs]
             )
         if isinstance(test, ast.BoolOp):
             parts = [self._as_simple_comparison(value) for value in test.values]

@@ -8,14 +8,25 @@ program through :meth:`InstrumentedProgram.run` with a
 :class:`~repro.instrument.runtime.Runtime` yields the return value, the final
 value of the injected register ``r`` and the coverage record -- everything the
 representing function and the coverage substrate need.
+
+Instrumentation and ``compile()`` are paid once per distinct source: a
+module-level cache keyed by the SHA-256 of the (dedented) source text maps to
+the immutable compiled artifacts (code object, conditional metadata,
+descendant analysis).  :meth:`InstrumentedProgram.clone` and per-process
+engine workers therefore only re-``exec`` the cached code object into a fresh
+namespace, which is orders of magnitude cheaper than re-parsing and
+re-compiling.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import inspect
 import textwrap
+import threading
 from dataclasses import dataclass, field
+from types import CodeType
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.instrument.ast_pass import (
@@ -26,7 +37,10 @@ from repro.instrument.ast_pass import (
 from repro.instrument.cfg import DescendantAnalysis
 from repro.instrument.runtime import (
     BranchId,
+    CoverageOutcome,
+    ExecutionProfile,
     ExecutionRecord,
+    FastRuntime,
     Runtime,
     RuntimeHandle,
 )
@@ -50,6 +64,63 @@ class ProgramOrigin:
     target: Callable
     extra_functions: tuple[Callable, ...] = ()
     signature: Optional[ProgramSignature] = None
+
+
+@dataclass(frozen=True)
+class CompiledUnit:
+    """Immutable compiled artifacts of one instrumented source (cacheable)."""
+
+    code: CodeType = field(repr=False)
+    conditionals: tuple[ConditionalInfo, ...]
+    analysis: DescendantAnalysis = field(repr=False)
+    unparsed: str = field(repr=False)
+
+
+#: Module-level compiled-code cache: (source sha256, function name,
+#: start label) -> CompiledUnit.  Code objects are immutable, so one cached
+#: unit can back any number of program namespaces (clones, worker processes
+#: after fork, repeated instrument() calls).
+_CODE_CACHE: dict[tuple[str, str, int], CompiledUnit] = {}
+_CODE_CACHE_LOCK = threading.Lock()
+_CODE_CACHE_MAX = 512
+
+
+def compiled_cache_info() -> dict[str, int]:
+    """Size statistics of the compiled-code cache (for tests/diagnostics)."""
+    return {"entries": len(_CODE_CACHE), "max_entries": _CODE_CACHE_MAX}
+
+
+def clear_compiled_cache() -> None:
+    """Drop every cached compiled unit (primarily for tests)."""
+    with _CODE_CACHE_LOCK:
+        _CODE_CACHE.clear()
+
+
+def _compiled_unit(source: str, function_name: str, start_label: int) -> CompiledUnit:
+    """Instrument + compile ``source``, memoized on its hash."""
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    key = (digest, function_name, start_label)
+    unit = _CODE_CACHE.get(key)
+    if unit is not None:
+        return unit
+    tree, conds, labels, func_node = instrument_source(
+        source, function_name=function_name, start_label=start_label
+    )
+    code = compile(tree, filename=f"<instrumented:{function_name}>", mode="exec")
+    unit = CompiledUnit(
+        code=code,
+        conditionals=tuple(conds),
+        analysis=DescendantAnalysis.from_function(func_node, labels),
+        unparsed=ast.unparse(tree),
+    )
+    with _CODE_CACHE_LOCK:
+        if len(_CODE_CACHE) >= _CODE_CACHE_MAX:
+            # Simple bound: the cache is tiny in practice (one entry per
+            # distinct target function); dropping everything on overflow
+            # costs one recompile burst and keeps the logic race-free.
+            _CODE_CACHE.clear()
+        _CODE_CACHE[key] = unit
+    return unit
 
 
 @dataclass
@@ -102,12 +173,15 @@ class InstrumentedProgram:
     def run(
         self, args: Sequence[float], runtime: Optional[Runtime] = None
     ) -> tuple[object, float, ExecutionRecord]:
-        """Execute the instrumented program on ``args``.
+        """Execute the instrumented program on ``args`` under ``FULL_TRACE``.
 
         Returns ``(return_value, r, record)``.  Exceptions escaping the
         program under test (domain errors, overflow raised as Python
         exceptions) are swallowed: the execution record up to the fault is
         still meaningful and the representing function must stay total.
+
+        This is the recording entry point; profile-aware callers use
+        :meth:`run_profiled`.
         """
         runtime = runtime if runtime is not None else Runtime()
         self.handle.install(runtime)
@@ -120,12 +194,48 @@ class InstrumentedProgram:
         r, record = runtime.end()
         return value, r, record
 
-    def clone(self) -> "InstrumentedProgram":
-        """Re-instrument this program into a fresh namespace and runtime handle.
+    def run_profiled(
+        self,
+        args: Sequence[float],
+        profile: ExecutionProfile = ExecutionProfile.FULL_TRACE,
+        runtime: Optional["Runtime | FastRuntime"] = None,
+        saturated_mask: Optional[int] = None,
+    ) -> tuple[object, float, "ExecutionRecord | CoverageOutcome | int"]:
+        """Execute on ``args`` under an explicit execution profile.
 
-        Each clone owns its compiled code and :class:`RuntimeHandle`, so
-        clones can execute concurrently (one per worker thread) without
-        racing on the installed runtime.  Requires :attr:`origin`.
+        Returns ``(return_value, r, outcome)`` where ``outcome`` is the full
+        :class:`ExecutionRecord` under ``FULL_TRACE``, a
+        :class:`CoverageOutcome` under ``COVERAGE``, and just the flat
+        covered-branch bitmask (an ``int``) under ``PENALTY_ONLY`` -- that
+        profile's contract is "``r`` plus a bitset", so no per-call branch
+        objects are materialized.  ``saturated_mask`` feeds the fast
+        runtime's inlined penalty; when omitted, a reused runtime keeps the
+        mask it was configured with (ignored under ``FULL_TRACE``, where the
+        caller installs a policy on the runtime).
+        """
+        profile = ExecutionProfile(profile)
+        if profile is ExecutionProfile.FULL_TRACE:
+            return self.run(args, runtime=runtime)  # type: ignore[arg-type]
+        fast = runtime if runtime is not None else FastRuntime(self.n_conditionals)
+        self.handle.install(fast)
+        fast.begin(saturated_mask)
+        value: object = None
+        try:
+            value = self.entry(*args)
+        except (ArithmeticError, ValueError, OverflowError):
+            value = None
+        if profile is ExecutionProfile.PENALTY_ONLY:
+            return value, fast.r, fast.covered_mask()
+        return value, fast.r, fast.snapshot()
+
+    def clone(self) -> "InstrumentedProgram":
+        """Rebuild this program with a fresh namespace and runtime handle.
+
+        Each clone owns its namespace and :class:`RuntimeHandle`, so clones
+        can execute concurrently (one per worker thread) without racing on
+        the installed runtime.  The compiled code objects are shared through
+        the module-level cache, so cloning only re-``exec``s them.  Requires
+        :attr:`origin`.
         """
         if self.origin is None:
             raise InstrumentationError(
@@ -182,15 +292,12 @@ def instrument(
             raise InstrumentationError(
                 f"cannot obtain source for {getattr(target, '__name__', target)!r}: {exc}"
             ) from exc
-        tree, conds, labels, func_node = instrument_source(
-            source, function_name=target.__name__, start_label=next_label
-        )
-        next_label += len(conds)
-        conditionals.extend(conds)
-        analysis.merge(DescendantAnalysis.from_function(func_node, labels))
-        code = compile(tree, filename=f"<instrumented:{target.__name__}>", mode="exec")
-        exec(code, namespace)  # noqa: S102 - compiling the user's own function
-        sources.append(ast.unparse(tree))
+        unit = _compiled_unit(source, target.__name__, next_label)
+        next_label += len(unit.conditionals)
+        conditionals.extend(unit.conditionals)
+        analysis.merge(unit.analysis)
+        exec(unit.code, namespace)  # noqa: S102 - compiling the user's own function
+        sources.append(unit.unparsed)
 
     entry = namespace[func.__name__]
     sig = signature or ProgramSignature.from_callable(func)

@@ -1,35 +1,85 @@
-"""Execution runtime for instrumented programs.
+"""Execution runtimes for instrumented programs.
 
 The runtime plays the role of the paper's injected global variable ``r`` plus
 the ``pen`` dispatch (Sect. 3.2, Step 1).  Every conditional test of the
-instrumented program is rewritten into calls on a :class:`Runtime` instance:
+instrumented program is rewritten into calls on an installed runtime:
 
-* :meth:`Runtime.cmp` evaluates one arithmetic comparison ``a op b`` inside a
-  conditional test, computes the branch distances towards both outcomes
-  (Def. 4.1) and returns the Boolean outcome so the program's control flow is
+* :meth:`Runtime.test` evaluates the whole test of a single-comparison
+  conditional ``a op b`` in one fused probe: it computes the branch distances
+  towards both outcomes (Def. 4.1), applies the ``pen`` update, records
+  coverage and returns the Boolean outcome so the program's control flow is
   unchanged.
-* :meth:`Runtime.resolve` is called with the truth value of the whole test of
-  conditional ``l_i``.  It composes the recorded distances, hands them to the
-  installed :class:`PenaltyPolicy` (CoverMe's ``pen``) to update ``r``, and
-  records branch coverage.
+* :meth:`Runtime.cmp` evaluates one arithmetic comparison inside a Boolean
+  combination (``a < b and c < d``) and stashes its distances for
+  :meth:`Runtime.resolve`, which composes them, hands them to the installed
+  :class:`PenaltyPolicy` (CoverMe's ``pen``) to update ``r``, and records
+  branch coverage.
 * :meth:`Runtime.truth` handles non-comparison tests (``if flag:``); numeric
   values are promoted to the comparison ``value != 0`` per Sect. 5.3, anything
   else is recorded for coverage only.
 
-The runtime is policy-agnostic: with ``policy=None`` it only records coverage
-(this is how the baseline tools and the Gcov substrate use it); with CoverMe's
-penalty policy installed it computes the representing function.
+Execution profiles
+------------------
+
+Minimizing the representing function issues millions of executions, so the
+runtime comes in two implementations selected through
+:class:`ExecutionProfile`:
+
+* ``FULL_TRACE`` -- the recording :class:`Runtime`: every conditional
+  evaluation is appended to an :class:`ExecutionRecord` as a
+  :class:`ConditionalOutcome`, and the penalty is delegated to a pluggable
+  :class:`PenaltyPolicy`.  This is the only profile that preserves the
+  *path*, so it is required by anything that inspects per-conditional
+  distances or the order of conditionals (trace-based tooling, debugging,
+  the line-coverage substrate's record consumers).
+* ``COVERAGE`` -- the allocation-free :class:`FastRuntime`: only the final
+  ``r``, a flat covered-branch bitset and the last executed conditional are
+  retained.  Sound whenever the consumer needs coverage and the infeasible
+  heuristic's last-conditional datum but not the path: this is everything
+  Algorithm 1's reduction consumes from an accepted minimum.
+* ``PENALTY_ONLY`` -- the same :class:`FastRuntime`, but the caller promises
+  to read only ``r`` (the covered bitset is still maintained -- it is two
+  machine operations per conditional -- but nothing per-execution is
+  snapshotted).  Sound for the optimizer inner loop, where the scalar
+  objective is the only output; any accepted minimum must be re-executed
+  under at least ``COVERAGE`` to harvest its branches.
+
+Both implementations compute bit-identical ``r`` values for the CoverMe
+penalty (Def. 4.2): :class:`FastRuntime` inlines that exact policy against a
+saturated-branch bitmask instead of calling through a policy object, and it
+uses the same :func:`~repro.core.branch_distance.branch_distance` arithmetic.
+The recording runtime stays policy-agnostic: with ``policy=None`` it only
+records coverage (this is how the baseline tools and the Gcov substrate use
+it); with CoverMe's penalty policy installed it computes the representing
+function.
 """
 
 from __future__ import annotations
 
+import enum
 import math
 from dataclasses import dataclass, field
-from typing import Optional, Protocol
+from typing import Iterable, Optional, Protocol
 
 from repro.core.branch_distance import DEFAULT_EPSILON, branch_distance, negate_op
 
 _COMPARISON_OPS = {"==", "!=", "<", "<=", ">", ">="}
+
+
+class ExecutionProfile(str, enum.Enum):
+    """How much information one execution of an instrumented program retains.
+
+    Ordered from cheapest to most expensive; see the module docstring for
+    when each profile is sound.
+    """
+
+    PENALTY_ONLY = "penalty"
+    COVERAGE = "coverage"
+    FULL_TRACE = "full-trace"
+
+
+#: Config-facing names of the execution profiles, cheapest first.
+EXECUTION_PROFILES: tuple[str, ...] = tuple(p.value for p in ExecutionProfile)
 
 
 @dataclass(frozen=True, order=True)
@@ -47,6 +97,36 @@ class BranchId:
     def sibling(self) -> "BranchId":
         """The other branch of the same conditional."""
         return BranchId(self.conditional, not self.outcome)
+
+    @property
+    def bit(self) -> int:
+        """Position of this branch in the flat branch bitsets."""
+        return branch_bit(self.conditional, self.outcome)
+
+
+def branch_bit(conditional: int, outcome: bool) -> int:
+    """Flat bit index of a branch: ``2 * conditional + outcome``."""
+    return (conditional << 1) | (1 if outcome else 0)
+
+
+def branch_mask(branches: Iterable[BranchId]) -> int:
+    """Pack branches into an integer bitmask (bit :func:`branch_bit` set)."""
+    mask = 0
+    for branch in branches:
+        mask |= 1 << branch.bit
+    return mask
+
+
+def branches_from_mask(mask: int) -> frozenset[BranchId]:
+    """Unpack an integer bitmask back into a set of branches."""
+    branches: set[BranchId] = set()
+    bit = 0
+    while mask:
+        if mask & 1:
+            branches.add(BranchId(bit >> 1, bool(bit & 1)))
+        mask >>= 1
+        bit += 1
+    return frozenset(branches)
 
 
 @dataclass
@@ -81,9 +161,30 @@ class ExecutionRecord:
     def conditionals_executed(self) -> set[int]:
         return {o.conditional for o in self.path}
 
+    def covered_mask(self) -> int:
+        """The covered branches as a flat bitmask (see :func:`branch_bit`)."""
+        return branch_mask(self.covered)
+
+
+@dataclass(frozen=True)
+class CoverageOutcome:
+    """What one :data:`~ExecutionProfile.COVERAGE` execution retains.
+
+    A single small object built once per execution (never per conditional):
+    the covered-branch set plus the last executed conditional, which is all
+    the engine's reduction consumes from an accepted minimum.
+    """
+
+    covered: frozenset[BranchId]
+    last_conditional: Optional[int]
+    last_outcome: Optional[bool]
+
+    def covered_mask(self) -> int:
+        return branch_mask(self.covered)
+
 
 class PenaltyPolicy(Protocol):
-    """Interface of the ``pen`` function plugged into the runtime."""
+    """Interface of the ``pen`` function plugged into the recording runtime."""
 
     def penalty(
         self,
@@ -98,7 +199,7 @@ class PenaltyPolicy(Protocol):
 
 
 class Runtime:
-    """The injected ``r`` register and probe dispatch of an instrumented run.
+    """The recording (``FULL_TRACE``) runtime: full per-conditional trace.
 
     Args:
         policy: Penalty policy deciding how ``r`` evolves at each conditional.
@@ -139,8 +240,21 @@ class Runtime:
 
     # -- probes (called from instrumented code) -------------------------------
 
+    def test(self, conditional: int, op: str, lhs, rhs) -> bool:
+        """Fused probe for a single-comparison conditional test.
+
+        Equivalent to ``resolve(c, "single", cmp(c, op, lhs, rhs))`` but with
+        no pending stash and no composition scan -- the common case pays for
+        exactly one probe call.
+        """
+        if op not in _COMPARISON_OPS:
+            raise ValueError(f"unsupported comparison operator {op!r}")
+        outcome = _evaluate(op, lhs, rhs)
+        d_true, d_false = self._distances(op, lhs, rhs)
+        return self._finish(conditional, outcome, d_true, d_false)
+
     def cmp(self, conditional: int, op: str, lhs, rhs) -> bool:
-        """Instrumented arithmetic comparison inside the test of ``conditional``.
+        """Instrumented comparison inside a Boolean combination test.
 
         Computes the branch distances of Def. 4.1 towards the true and the
         false outcome, stashes them for :meth:`resolve`, and returns the
@@ -157,29 +271,46 @@ class Runtime:
         """Instrumented non-comparison test (e.g. ``if flag:``).
 
         Numeric values are promoted to the comparison ``value != 0``
-        (Sect. 5.3); other values only get coverage recording.
+        (Sect. 5.3); other values -- including ``int``s too large for
+        ``float()`` -- only get coverage recording.
         """
         outcome = bool(value)
         if isinstance(value, bool):
-            d_true = 0.0 if outcome else self.epsilon
-            d_false = self.epsilon if outcome else 0.0
-            self._pending.setdefault(conditional, []).append((d_true, d_false))
-        elif isinstance(value, (int, float)) and not isinstance(value, bool):
-            d_true, d_false = self._distances("!=", float(value), 0.0)
-            self._pending.setdefault(conditional, []).append((d_true, d_false))
-        return self.resolve(conditional, "single", outcome)
+            d_true: Optional[float] = 0.0 if outcome else self.epsilon
+            d_false: Optional[float] = self.epsilon if outcome else 0.0
+        elif isinstance(value, (int, float)):
+            # _distances converts to float itself and degrades to coverage-only
+            # recording when the conversion fails (e.g. OverflowError on a
+            # huge int).
+            d_true, d_false = self._distances("!=", value, 0.0)
+        else:
+            d_true, d_false = None, None
+        return self._finish(conditional, outcome, d_true, d_false)
 
     def resolve(self, conditional: int, mode: str, outcome) -> bool:
         """Finalize the evaluation of ``conditional``'s test.
 
-        ``mode`` is ``"single"`` for a plain comparison, ``"and"``/``"or"``
-        for Boolean combinations of comparisons.  The composed distances are
-        handed to the penalty policy which updates ``r``; the branch taken is
-        added to the coverage record.
+        ``mode`` is ``"and"``/``"or"`` for Boolean combinations of
+        comparisons stashed by :meth:`cmp` (``"single"`` is accepted for
+        backwards compatibility with the pre-fused probe protocol).  The
+        composed distances are handed to the penalty policy which updates
+        ``r``; the branch taken is added to the coverage record.
         """
         outcome = bool(outcome)
         parts = self._pending.pop(conditional, [])
         d_true, d_false = _compose(mode, parts)
+        return self._finish(conditional, outcome, d_true, d_false)
+
+    # -- internals -------------------------------------------------------------
+
+    def _finish(
+        self,
+        conditional: int,
+        outcome: bool,
+        d_true: Optional[float],
+        d_false: Optional[float],
+    ) -> bool:
+        """Apply the penalty policy and record one conditional evaluation."""
         if self.policy is not None and (d_true is not None or d_false is not None):
             self._r = float(
                 self.policy.penalty(conditional, d_true, d_false, outcome, self._r)
@@ -194,13 +325,13 @@ class Runtime:
         )
         return outcome
 
-    # -- internals -------------------------------------------------------------
-
     def _distances(self, op: str, lhs, rhs) -> tuple[Optional[float], Optional[float]]:
         try:
             a = float(lhs)
             b = float(rhs)
-        except (TypeError, ValueError):
+        except (TypeError, ValueError, OverflowError):
+            # OverflowError: an ``int`` beyond float range (satellite of the
+            # Sect. 5.3 promotion); treat like any other incomparable value.
             return None, None
         if math.isnan(a) or math.isnan(b):
             # NaN comparisons are all-false except ``!=``; there is no usable
@@ -212,26 +343,253 @@ class Runtime:
         return d_true, d_false
 
 
+class FastRuntime:
+    """The allocation-free runtime behind ``PENALTY_ONLY`` and ``COVERAGE``.
+
+    Hardwires CoverMe's ``pen`` (Def. 4.2) against a *saturated-branch
+    bitmask* frozen at :meth:`begin`:
+
+    * both branches of the conditional saturated -- keep ``r`` (case c); no
+      distance is computed at all;
+    * neither saturated -- ``r`` becomes 0 (case a); no distance either,
+      except the operands are still checked for float-comparability so the
+      recording runtime's "no usable distance => keep ``r``" degradation is
+      reproduced exactly;
+    * exactly one saturated -- ``r`` becomes the branch distance towards the
+      unsaturated branch (case b), computed with the same
+      :func:`~repro.core.branch_distance.branch_distance` arithmetic as the
+      recording runtime, so the two produce bit-identical ``r`` values.
+
+    Coverage is kept as a flat bytearray indexed by :func:`branch_bit`
+    (two machine operations per conditional, no per-conditional objects);
+    the last executed conditional is tracked for the infeasible-branch
+    heuristic.  The per-execution path is *not* retained -- use the
+    recording :class:`Runtime` when the trace matters.
+
+    The saturation snapshot is frozen per execution, which is sound inside
+    one engine start (the tracker is only folded between starts); callers
+    whose tracker evolves must pass the current mask to every
+    :meth:`begin`.
+    """
+
+    __slots__ = (
+        "epsilon",
+        "n_conditionals",
+        "saturated_mask",
+        "total_evaluations",
+        "_r",
+        "_covered",
+        "_zeros",
+        "_pending",
+        "_last_conditional",
+        "_last_outcome",
+    )
+
+    def __init__(
+        self,
+        n_conditionals: int,
+        saturated_mask: int = 0,
+        epsilon: float = DEFAULT_EPSILON,
+    ):
+        self.epsilon = epsilon
+        self.n_conditionals = n_conditionals
+        self.saturated_mask = saturated_mask
+        self.total_evaluations = 0
+        self._r = 1.0
+        self._zeros = bytes(2 * n_conditionals)
+        self._covered = bytearray(self._zeros)
+        self._pending: dict[int, list[tuple[Optional[float], Optional[float]]]] = {}
+        self._last_conditional = -1
+        self._last_outcome = False
+
+    # -- execution lifecycle -------------------------------------------------
+
+    def begin(self, saturated_mask: Optional[int] = None) -> None:
+        """Start one execution against ``saturated_mask`` (kept when omitted)."""
+        if saturated_mask is not None:
+            self.saturated_mask = saturated_mask
+        self._r = 1.0
+        self._covered[:] = self._zeros
+        if self._pending:
+            self._pending.clear()
+        self._last_conditional = -1
+        self.total_evaluations += 1
+
+    @property
+    def r(self) -> float:
+        """Current value of the injected global register."""
+        return self._r
+
+    @property
+    def last_conditional(self) -> Optional[int]:
+        return self._last_conditional if self._last_conditional >= 0 else None
+
+    @property
+    def last_outcome(self) -> Optional[bool]:
+        return self._last_outcome if self._last_conditional >= 0 else None
+
+    def covered_mask(self) -> int:
+        """The covered branches of the current execution as a flat bitmask."""
+        mask = 0
+        for bit, hit in enumerate(self._covered):
+            if hit:
+                mask |= 1 << bit
+        return mask
+
+    def covered_branches(self) -> frozenset[BranchId]:
+        """The covered branches of the current execution as ``BranchId``s."""
+        return frozenset(
+            BranchId(bit >> 1, bool(bit & 1))
+            for bit, hit in enumerate(self._covered)
+            if hit
+        )
+
+    def snapshot(self) -> CoverageOutcome:
+        """Snapshot the coverage-profile outputs of the current execution."""
+        return CoverageOutcome(
+            covered=self.covered_branches(),
+            last_conditional=self.last_conditional,
+            last_outcome=self.last_outcome,
+        )
+
+    # -- probes (called from instrumented code) -------------------------------
+
+    def test(self, conditional: int, op: str, lhs, rhs) -> bool:
+        """Fused single-comparison probe; the engine's hottest code path."""
+        outcome = _evaluate(op, lhs, rhs)
+        self._covered[(conditional << 1) | outcome] = 1
+        self._last_conditional = conditional
+        self._last_outcome = outcome
+        bits = (self.saturated_mask >> (conditional << 1)) & 3
+        if bits == 3:
+            # Def. 4.2(c): both branches saturated, keep r; skip the
+            # distance computation entirely.
+            return outcome
+        lhs_type = lhs.__class__
+        if lhs_type is not float or rhs.__class__ is not float:
+            try:
+                lhs = float(lhs)
+                rhs = float(rhs)
+            except (TypeError, ValueError, OverflowError):
+                # No usable distance: the recording runtime keeps r here.
+                return outcome
+        if bits == 0:
+            # Def. 4.2(a): any outcome saturates a new branch.
+            self._r = 0.0
+            return outcome
+        if lhs != lhs or rhs != rhs:  # NaN operand (matches Runtime._distances)
+            if bits == 1:  # steer towards the true branch
+                self._r = 0.0 if op == "!=" else 1.0e300
+            else:  # steer towards the false branch
+                self._r = 1.0e300 if op == "!=" else 0.0
+            return outcome
+        if bits == 1:
+            # Def. 4.2(b): only the false branch saturated; steer to true.
+            self._r = branch_distance(op, lhs, rhs, self.epsilon)
+        else:
+            # Def. 4.2(b): only the true branch saturated; steer to false.
+            self._r = branch_distance(negate_op(op), lhs, rhs, self.epsilon)
+        return outcome
+
+    def cmp(self, conditional: int, op: str, lhs, rhs) -> bool:
+        """Comparison inside a Boolean combination; stashes distances."""
+        if op not in _COMPARISON_OPS:
+            raise ValueError(f"unsupported comparison operator {op!r}")
+        outcome = _evaluate(op, lhs, rhs)
+        d_true, d_false = self._distances(op, lhs, rhs)
+        self._pending.setdefault(conditional, []).append((d_true, d_false))
+        return outcome
+
+    def truth(self, conditional: int, value) -> bool:
+        """Non-comparison test; same promotion rules as the recording runtime."""
+        outcome = bool(value)
+        if isinstance(value, bool):
+            d_true: Optional[float] = 0.0 if outcome else self.epsilon
+            d_false: Optional[float] = self.epsilon if outcome else 0.0
+        elif isinstance(value, (int, float)):
+            d_true, d_false = self._distances("!=", value, 0.0)
+        else:
+            d_true, d_false = None, None
+        return self._finish(conditional, outcome, d_true, d_false)
+
+    def resolve(self, conditional: int, mode: str, outcome) -> bool:
+        """Finalize a Boolean-combination test stashed by :meth:`cmp`."""
+        outcome = bool(outcome)
+        parts = self._pending.pop(conditional, [])
+        d_true, d_false = _compose(mode, parts)
+        return self._finish(conditional, outcome, d_true, d_false)
+
+    # -- internals -------------------------------------------------------------
+
+    def _finish(
+        self,
+        conditional: int,
+        outcome: bool,
+        d_true: Optional[float],
+        d_false: Optional[float],
+    ) -> bool:
+        self._covered[(conditional << 1) | outcome] = 1
+        self._last_conditional = conditional
+        self._last_outcome = outcome
+        if d_true is None and d_false is None:
+            return outcome
+        bits = (self.saturated_mask >> (conditional << 1)) & 3
+        if bits == 0:
+            self._r = 0.0
+        elif bits == 1:
+            if d_true is not None:
+                self._r = d_true
+        elif bits == 2:
+            if d_false is not None:
+                self._r = d_false
+        return outcome
+
+    def _distances(self, op: str, lhs, rhs) -> tuple[Optional[float], Optional[float]]:
+        try:
+            a = float(lhs)
+            b = float(rhs)
+        except (TypeError, ValueError, OverflowError):
+            return None, None
+        if math.isnan(a) or math.isnan(b):
+            big = 1.0e300
+            return (0.0, big) if op == "!=" else (big, 0.0)
+        return (
+            branch_distance(op, a, b, self.epsilon),
+            branch_distance(negate_op(op), a, b, self.epsilon),
+        )
+
+
 class RuntimeHandle:
     """Mutable holder through which instrumented code reaches the runtime.
 
     The instrumented module namespace closes over one handle; swapping the
     installed runtime lets many measurements reuse the same compiled code.
+    :meth:`install` rebinds the probe methods directly to the installed
+    runtime's bound methods, so the per-probe forwarding cost is zero.
     """
 
     def __init__(self) -> None:
-        self._runtime: Optional[Runtime] = None
+        self._runtime: Optional[Runtime | FastRuntime] = None
 
-    def install(self, runtime: Runtime) -> None:
+    def install(self, runtime: "Runtime | FastRuntime") -> None:
         self._runtime = runtime
+        # Instance attributes shadow the class-level fallbacks below, making
+        # every probe a direct call on the runtime.
+        self.test = runtime.test
+        self.cmp = runtime.cmp
+        self.truth = runtime.truth
+        self.resolve = runtime.resolve
 
     @property
-    def runtime(self) -> Runtime:
+    def runtime(self) -> "Runtime | FastRuntime":
         if self._runtime is None:
             raise RuntimeError("no Runtime installed on this handle")
         return self._runtime
 
-    # The instrumented code calls these directly.
+    # Class-level fallbacks: reached only before the first install().
+    def test(self, conditional: int, op: str, lhs, rhs) -> bool:
+        return self.runtime.test(conditional, op, lhs, rhs)
+
     def cmp(self, conditional: int, op: str, lhs, rhs) -> bool:
         return self.runtime.cmp(conditional, op, lhs, rhs)
 

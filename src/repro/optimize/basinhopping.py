@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.optimize.local import get_local_minimizer
 from repro.optimize.mcmc import metropolis_accept, propose_perturbation
+from repro.optimize.memo import BitPatternMemo
 from repro.optimize.result import OptimizeResult
 
 
@@ -30,6 +31,7 @@ def basinhopping(
     rng: Optional[np.random.Generator] = None,
     callback: Optional[Callable[[np.ndarray, float, bool], bool]] = None,
     local_options: Optional[dict] = None,
+    memoize: bool = False,
 ) -> OptimizeResult:
     """Minimize ``func`` with MCMC basin-hopping (Algorithm 1, lines 24-34).
 
@@ -45,6 +47,11 @@ def basinhopping(
         callback: Called after every iteration with ``(x, f, accepted)``;
             returning ``True`` stops the loop (the paper's ``call_back``).
         local_options: Extra keyword options forwarded to the local minimizer.
+        memoize: Serve repeated evaluations at bit-identical inputs from a
+            :class:`~repro.optimize.memo.BitPatternMemo` instead of
+            re-executing ``func``.  Values (and hence the seeded search
+            trajectory) are unchanged; only sound when ``func`` is
+            deterministic for the duration of this call.
 
     Returns:
         The best :class:`~repro.optimize.result.OptimizeResult` seen.
@@ -58,6 +65,8 @@ def basinhopping(
     options = dict(local_options or {})
 
     x0 = np.atleast_1d(np.asarray(x0, dtype=float))
+    if memoize:
+        func = BitPatternMemo(func, arity=x0.shape[0])
     nfev = 0
 
     # Line 25: descend to the first local minimum.

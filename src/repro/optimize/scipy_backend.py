@@ -14,6 +14,7 @@ from typing import Callable, Optional
 import numpy as np
 from scipy import optimize as _scipy_optimize
 
+from repro.optimize.memo import BitPatternMemo
 from repro.optimize.result import OptimizeResult
 
 
@@ -27,9 +28,12 @@ def scipy_basinhopping(
     rng: Optional[np.random.Generator] = None,
     callback: Optional[Callable[[np.ndarray, float, bool], bool]] = None,
     local_options: Optional[dict] = None,
+    memoize: bool = False,
 ) -> OptimizeResult:
     """Run ``scipy.optimize.basinhopping`` with the paper's configuration."""
     x0 = np.atleast_1d(np.asarray(x0, dtype=float))
+    if memoize:
+        func = BitPatternMemo(func, arity=x0.shape[0])
     seed = None
     if rng is not None:
         seed = int(rng.integers(0, 2**31 - 1))

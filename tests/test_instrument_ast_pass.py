@@ -89,7 +89,7 @@ class TestRewriting:
             "def f(x):\n    if x <= 1.0:\n        return 1\n    return 0\n"
         )
         text = ast.unparse(tree)
-        assert f"{HANDLE_NAME}.resolve(0, 'single', {HANDLE_NAME}.cmp(0, '<=', x, 1.0))" in text
+        assert f"{HANDLE_NAME}.test(0, '<=', x, 1.0)" in text
         assert len(conds) == 1
         assert conds[0].kind == "if"
 
@@ -120,7 +120,7 @@ class TestRewriting:
             "def f(x):\n    while x > 1.0:\n        x = x / 2\n    return x\n"
         )
         text = ast.unparse(tree)
-        assert f"{HANDLE_NAME}.cmp(0, '>', x, 1.0)" in text
+        assert f"{HANDLE_NAME}.test(0, '>', x, 1.0)" in text
         assert conds[0].kind == "while"
 
     def test_start_label_offsets_labels(self):

@@ -4,8 +4,20 @@ from __future__ import annotations
 
 import pytest
 
-from repro.instrument.program import InstrumentationError, instrument
-from repro.instrument.runtime import BranchId, Runtime
+from repro.instrument.program import (
+    InstrumentationError,
+    _CODE_CACHE,
+    clear_compiled_cache,
+    compiled_cache_info,
+    instrument,
+)
+from repro.instrument.runtime import (
+    BranchId,
+    CoverageOutcome,
+    ExecutionProfile,
+    FastRuntime,
+    Runtime,
+)
 from repro.instrument.signature import ProgramSignature
 from tests import sample_programs as sp
 
@@ -69,6 +81,126 @@ class TestExecution:
         # The module-level function keeps working without any runtime installed.
         assert sp.paper_foo(0.7) == 0
         assert sp.paper_foo(1.0) == 1
+
+
+class TestProfiledExecution:
+    def test_full_trace_returns_record(self, paper_foo_program):
+        value, r, record = paper_foo_program.run_profiled((0.5,))
+        assert value == sp.paper_foo(0.5)
+        assert record.covered == {BranchId(0, True), BranchId(1, False)}
+
+    def test_coverage_profile_returns_coverage_outcome(self, paper_foo_program):
+        value, r, outcome = paper_foo_program.run_profiled(
+            (0.5,), profile=ExecutionProfile.COVERAGE
+        )
+        assert value == sp.paper_foo(0.5)
+        assert isinstance(outcome, CoverageOutcome)
+        assert outcome.covered == {BranchId(0, True), BranchId(1, False)}
+        assert outcome.last_conditional == 1
+        assert outcome.last_outcome is False
+
+    def test_penalty_profile_returns_flat_bitmask(self, paper_foo_program):
+        from repro.instrument.runtime import branch_mask
+
+        value, r, mask = paper_foo_program.run_profiled(
+            (0.5,), profile=ExecutionProfile.PENALTY_ONLY
+        )
+        assert value == sp.paper_foo(0.5)
+        assert isinstance(mask, int)
+        assert mask == branch_mask({BranchId(0, True), BranchId(1, False)})
+
+    def test_reused_runtime_keeps_configured_mask(self, paper_foo_program):
+        """Regression: the mask default must not clobber a reused runtime's."""
+        from repro.instrument.runtime import branch_mask
+
+        mask = branch_mask(paper_foo_program.all_branches)
+        runtime = FastRuntime(paper_foo_program.n_conditionals, saturated_mask=mask)
+        _, r, _ = paper_foo_program.run_profiled(
+            (0.5,), profile=ExecutionProfile.PENALTY_ONLY, runtime=runtime
+        )
+        # Everything saturated: pen case (c) keeps r at 1, and the runtime's
+        # configured mask survives the call.
+        assert r == 1.0
+        assert runtime.saturated_mask == mask
+
+    def test_profiles_agree_on_coverage(self, paper_foo_program):
+        for x in (0.5, 1.0, -3.0, 7.7):
+            _, r_trace, record = paper_foo_program.run_profiled((x,))
+            _, r_fast, outcome = paper_foo_program.run_profiled(
+                (x,), profile=ExecutionProfile.COVERAGE
+            )
+            assert outcome.covered == frozenset(record.covered)
+            # The fast runtime hardwires CoverMe's pen: with an empty
+            # saturation mask every conditional is case (a), so r is 0; the
+            # recording default (policy=None) leaves r at 1.
+            assert r_trace == 1.0
+            assert r_fast == 0.0
+
+    def test_explicit_fast_runtime_is_reused(self, paper_foo_program):
+        runtime = FastRuntime(paper_foo_program.n_conditionals)
+        paper_foo_program.run_profiled(
+            (0.5,), profile=ExecutionProfile.PENALTY_ONLY, runtime=runtime
+        )
+        paper_foo_program.run_profiled(
+            (2.0,), profile=ExecutionProfile.PENALTY_ONLY, runtime=runtime
+        )
+        assert runtime.total_evaluations == 2
+
+    def test_exceptions_swallowed_in_fast_profile(self):
+        program = instrument(sp.raises_for_small)
+        value, _, outcome = program.run_profiled((0.5,), profile=ExecutionProfile.COVERAGE)
+        assert value is None
+        assert BranchId(0, True) in outcome.covered
+
+
+class TestCompiledCodeCache:
+    def test_reinstrumenting_same_source_hits_cache(self):
+        clear_compiled_cache()
+        first = instrument(sp.paper_foo)
+        entries_after_first = compiled_cache_info()["entries"]
+        second = instrument(sp.paper_foo)
+        assert compiled_cache_info()["entries"] == entries_after_first
+        # Cached artifacts are shared; namespaces and handles are not.
+        assert first.entry is not second.entry
+        assert first.handle is not second.handle
+        assert first.conditionals == second.conditionals
+
+    def test_clone_shares_compiled_code(self):
+        clear_compiled_cache()
+        program = instrument(sp.nested_branches)
+        entries = compiled_cache_info()["entries"]
+        clone = program.clone()
+        assert compiled_cache_info()["entries"] == entries
+        assert clone.entry.__code__ is not None
+        # Clones execute independently (separate handles).
+        _, _, record = clone.run((1.0, 1.0), runtime=Runtime())
+        assert record.covered
+
+    def test_cache_key_includes_start_label(self):
+        """The same helper at a different label offset must compile separately."""
+        clear_compiled_cache()
+        # paper_foo has 2 conditionals, so helper_goo compiles at start label 2.
+        offset = instrument(sp.paper_foo, extra_functions=[sp.helper_goo])
+        assert offset.conditionals[-1].label == 2
+        entries = compiled_cache_info()["entries"]
+        # helper_goo alone starts at label 0: a distinct cache entry.
+        program = instrument(sp.helper_goo)
+        assert compiled_cache_info()["entries"] == entries + 1
+        assert program.conditionals[0].label == 0
+
+    def test_cached_programs_behave_identically(self):
+        clear_compiled_cache()
+        uncached = instrument(sp.loop_program)
+        cached = instrument(sp.loop_program)
+        for x in (0.5, 9.0, 1.0e6):
+            assert cached.run((x,))[0] == uncached.run((x,))[0] == sp.loop_program(x)
+
+    def test_clear_compiled_cache(self):
+        instrument(sp.paper_foo)
+        assert compiled_cache_info()["entries"] >= 1
+        clear_compiled_cache()
+        assert compiled_cache_info()["entries"] == 0
+        assert _CODE_CACHE == {}
 
 
 class TestSignature:

@@ -1,4 +1,4 @@
-"""Tests for the instrumentation runtime (probes, r register, records)."""
+"""Tests for the instrumentation runtimes (probes, r register, records)."""
 
 from __future__ import annotations
 
@@ -9,8 +9,12 @@ from repro.instrument.runtime import (
     BranchId,
     ConditionalOutcome,
     ExecutionRecord,
+    FastRuntime,
     Runtime,
     RuntimeHandle,
+    branch_bit,
+    branch_mask,
+    branches_from_mask,
 )
 
 
@@ -129,6 +133,244 @@ class TestRuntimeProbes:
             rt.begin()
             rt.end()
         assert rt.total_evaluations == 3
+
+
+class TestFusedTestProbe:
+    """The fused single-comparison probe must equal cmp + resolve('single')."""
+
+    def test_matches_cmp_resolve_pair(self):
+        for op, lhs, rhs in [("==", 3.0, 5.0), ("<", 1.0, 1.0), (">=", 2.0, -1.0)]:
+            fused_policy, paired_policy = ConstantPolicy(), ConstantPolicy()
+            fused, paired = Runtime(policy=fused_policy), Runtime(policy=paired_policy)
+            fused.begin()
+            paired.begin()
+            assert fused.test(0, op, lhs, rhs) == paired.resolve(
+                0, "single", paired.cmp(0, op, lhs, rhs)
+            )
+            assert fused_policy.calls == paired_policy.calls
+            assert fused.record.covered == paired.record.covered
+            assert fused.record.path[0].distance_true == paired.record.path[0].distance_true
+
+    def test_rejects_bad_operator(self):
+        rt = Runtime()
+        rt.begin()
+        with pytest.raises(ValueError):
+            rt.test(0, "?", 1.0, 2.0)
+
+    def test_no_pending_state_left_behind(self):
+        rt = Runtime()
+        rt.begin()
+        rt.test(0, "<", 1.0, 2.0)
+        assert rt._pending == {}
+
+
+class TestTruthEdgeCases:
+    def test_huge_int_falls_back_to_coverage_only(self):
+        """Regression: int too large for float() must not crash the probe."""
+        policy = ConstantPolicy()
+        rt = Runtime(policy=policy)
+        rt.begin()
+        assert rt.truth(0, 10**400) is True
+        assert policy.calls == []  # no usable distance, r untouched
+        assert rt.r == 1.0
+        assert BranchId(0, True) in rt.record.covered
+
+    def test_huge_int_in_cmp_falls_back_to_coverage_only(self):
+        policy = ConstantPolicy()
+        rt = Runtime(policy=policy)
+        rt.begin()
+        assert rt.test(0, "<", 10**400, 1) is False
+        assert policy.calls == []
+        assert BranchId(0, False) in rt.record.covered
+
+    def test_bool_value_uses_epsilon_distances(self):
+        policy = ConstantPolicy()
+        rt = Runtime(policy=policy)
+        rt.begin()
+        assert rt.truth(0, False) is False
+        _, d_true, d_false, outcome, _ = policy.calls[0]
+        assert d_true == DEFAULT_EPSILON
+        assert d_false == 0.0
+        assert outcome is False
+
+    @pytest.mark.parametrize("value,expected", [(None, False), ("", False), ([1], True), ({}, False)])
+    def test_non_numeric_values_record_coverage_only(self, value, expected):
+        policy = ConstantPolicy()
+        rt = Runtime(policy=policy)
+        rt.begin()
+        assert rt.truth(0, value) is expected
+        assert policy.calls == []
+        assert BranchId(0, expected) in rt.record.covered
+
+
+class TestComposeShortCircuit:
+    """Short-circuited parts of and/or tests must not contribute distances."""
+
+    def test_and_short_circuit_uses_only_evaluated_part(self):
+        policy = ConstantPolicy()
+        rt = Runtime(policy=policy)
+        rt.begin()
+        first = rt.cmp(0, ">", 0.0, 1.0)  # False: second operand never evaluated
+        assert first is False
+        rt.resolve(0, "and", first)
+        _, d_true, d_false, outcome, _ = policy.calls[0]
+        assert d_true == pytest.approx(1.0 + DEFAULT_EPSILON)
+        assert d_false == 0.0
+        assert outcome is False
+
+    def test_or_short_circuit_uses_only_evaluated_part(self):
+        policy = ConstantPolicy()
+        rt = Runtime(policy=policy)
+        rt.begin()
+        first = rt.cmp(0, "<", 0.0, 1.0)  # True: second operand short-circuited
+        assert first is True
+        rt.resolve(0, "or", first)
+        _, d_true, d_false, outcome, _ = policy.calls[0]
+        assert d_true == 0.0
+        assert d_false == pytest.approx(1.0 + DEFAULT_EPSILON)
+        assert outcome is True
+
+    def test_partially_usable_parts_compose_from_usable_only(self):
+        """A non-numeric operand contributes nothing; the rest still composes."""
+        policy = ConstantPolicy()
+        rt = Runtime(policy=policy)
+        rt.begin()
+        first = rt.cmp(0, ">", 10**400, 1)  # no usable distance
+        second = rt.cmp(0, ">", 0.0, 1.0)
+        rt.resolve(0, "and", first and second)
+        _, d_true, _, _, _ = policy.calls[0]
+        assert d_true == pytest.approx(1.0 + DEFAULT_EPSILON)  # only the second part
+
+    def test_all_parts_unusable_leaves_r_alone(self):
+        policy = ConstantPolicy()
+        rt = Runtime(policy=policy)
+        rt.begin()
+        first = rt.cmp(0, ">", 10**400, 1)
+        rt.resolve(0, "and", first)
+        assert policy.calls == []
+        assert rt.r == 1.0
+
+    def test_unknown_mode_rejected(self):
+        rt = Runtime()
+        rt.begin()
+        rt.cmp(0, "<", 1.0, 2.0)
+        rt.cmp(0, "<", 2.0, 3.0)
+        with pytest.raises(ValueError, match="unknown composition mode"):
+            rt.resolve(0, "xor", True)
+
+    def test_single_usable_part_skips_mode_check(self):
+        """With one usable part the composition is that part, whatever the mode."""
+        rt = Runtime()
+        rt.begin()
+        rt.cmp(0, "<", 1.0, 2.0)
+        assert rt.resolve(0, "and", True) is True
+        outcome = rt.record.path[0]
+        assert outcome.distance_true == 0.0
+        assert outcome.distance_false > 0.0
+
+
+class TestBranchBitHelpers:
+    def test_bit_roundtrip(self):
+        branches = {BranchId(0, True), BranchId(3, False), BranchId(7, True)}
+        assert branches_from_mask(branch_mask(branches)) == branches
+
+    def test_bit_layout(self):
+        assert branch_bit(0, False) == 0
+        assert branch_bit(0, True) == 1
+        assert branch_bit(5, False) == 10
+        assert BranchId(5, True).bit == 11
+
+    def test_empty_mask(self):
+        assert branch_mask([]) == 0
+        assert branches_from_mask(0) == frozenset()
+
+
+class SaturatedStub:
+    """Minimal stand-in for a SaturationTracker's saturated set."""
+
+    def __init__(self, branches):
+        self.saturated = frozenset(branches)
+
+
+def _reference_r(saturated, script):
+    """Run a probe script through Runtime + CoverMePenalty (the reference)."""
+    from repro.core.pen import CoverMePenalty
+
+    rt = Runtime(policy=CoverMePenalty(SaturatedStub(saturated)))
+    rt.begin()
+    script(rt)
+    return rt.r, rt.record.covered
+
+
+def _fast_r(saturated, script, n_conditionals=4):
+    rt = FastRuntime(n_conditionals, saturated_mask=branch_mask(saturated))
+    rt.begin()
+    script(rt)
+    return rt.r, rt.covered_branches()
+
+
+class TestFastRuntimeEquivalence:
+    """FastRuntime must compute bit-identical r to Runtime + CoverMePenalty."""
+
+    SCRIPTS = [
+        lambda rt: rt.test(0, "<=", 3.0, 1.0),
+        lambda rt: rt.test(0, "==", 2.0, 2.0),
+        lambda rt: (rt.test(0, ">", 5.0, 1.0), rt.test(1, "<", 5.0, 1.0)),
+        lambda rt: rt.test(0, "!=", float("nan"), 1.0),
+        lambda rt: rt.test(0, "<", float("nan"), 1.0),
+        lambda rt: rt.truth(1, 7.5),
+        lambda rt: rt.truth(1, 0),
+        lambda rt: rt.truth(1, True),
+        lambda rt: rt.truth(1, "opaque"),
+        lambda rt: rt.truth(1, 10**400),
+        lambda rt: rt.test(2, ">=", 10**400, 1),
+        lambda rt: rt.resolve(3, "and", rt.cmp(3, ">", 0.0, 1.0)),
+        lambda rt: rt.resolve(3, "or", rt.cmp(3, ">", 0.0, 1.0) or rt.cmp(3, ">", -1.0, 1.0)),
+    ]
+
+    @pytest.mark.parametrize("script_index", range(len(SCRIPTS)))
+    def test_r_and_coverage_match_reference(self, script_index):
+        script = self.SCRIPTS[script_index]
+        all_branches = [BranchId(c, o) for c in range(4) for o in (False, True)]
+        # Saturation states: empty, everything, and one-sided per conditional.
+        states = [frozenset(), frozenset(all_branches)]
+        for c in range(4):
+            states.append(frozenset({BranchId(c, True)}))
+            states.append(frozenset({BranchId(c, False)}))
+        for saturated in states:
+            expected = _reference_r(saturated, script)
+            got = _fast_r(saturated, script)
+            assert got == expected, f"saturated={set(saturated)}"
+
+    def test_last_conditional_tracking(self):
+        rt = FastRuntime(4)
+        rt.begin()
+        assert rt.last_conditional is None and rt.last_outcome is None
+        rt.test(2, "<", 1.0, 2.0)
+        assert rt.last_conditional == 2 and rt.last_outcome is True
+        rt.truth(0, None)
+        assert rt.last_conditional == 0 and rt.last_outcome is False
+
+    def test_begin_resets_coverage_and_mask(self):
+        rt = FastRuntime(2, saturated_mask=branch_mask({BranchId(0, True)}))
+        rt.begin()
+        rt.test(0, "<", 1.0, 2.0)
+        assert rt.covered_branches() == {BranchId(0, True)}
+        rt.begin(saturated_mask=0)
+        assert rt.covered_branches() == frozenset()
+        assert rt.saturated_mask == 0
+        assert rt.r == 1.0
+        assert rt.total_evaluations == 2
+
+    def test_snapshot(self):
+        rt = FastRuntime(2)
+        rt.begin()
+        rt.test(1, ">", 2.0, 1.0)
+        snap = rt.snapshot()
+        assert snap.covered == {BranchId(1, True)}
+        assert snap.last_conditional == 1
+        assert snap.last_outcome is True
+        assert snap.covered_mask() == branch_mask({BranchId(1, True)})
 
 
 class TestExecutionRecord:
