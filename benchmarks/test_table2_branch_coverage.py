@@ -4,20 +4,70 @@ Regenerates the rows of Table 2 under the selected profile and checks the
 qualitative shape of the paper's result: CoverMe's mean branch coverage beats
 both Rand and AFL, and the per-function ordering holds for the large majority
 of the benchmarked functions.
+
+The run also emits ``BENCH_table2_<profile>.json`` with the measured per-case
+coverage *and* the instrumented branch count of every suite entry (including
+helper ``extras``), so future PRs can diff instrumented-branch totals against
+the paper's Table 2 column without re-running the search.
 """
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.experiments import table2
-from repro.experiments.runner import format_table
+from repro.experiments.runner import format_table, instrument_case
+from repro.fdlibm.suite import BENCHMARKS
+
+
+def _static_branch_counts() -> dict[str, dict[str, int]]:
+    """Instrumented-vs-paper branch counts for all 40 entries (no search)."""
+    counts = {}
+    for case in BENCHMARKS:
+        program = instrument_case(case)
+        counts[case.key] = {
+            "instrumented_branches": program.n_branches,
+            "paper_branches": case.paper.branches,
+            "extras": len(case.extras),
+            "fallback_conditionals": len(program.fallback_conditionals),
+        }
+    return counts
+
+
+def _write_artifact(bench_report_dir, profile, rows, summary) -> None:
+    report = {
+        "profile": profile.name,
+        "cases": [
+            {
+                "key": row.case.key,
+                "branches": row.n_branches,
+                "paper_branches": row.case.paper.branches,
+                "coverage": {tool: row.coverage(tool) for tool in table2.TOOLS},
+                "paper_coverme_branch": row.case.paper.coverme_branch,
+            }
+            for row in rows
+        ],
+        "means": summary,
+        "static_branch_counts": _static_branch_counts(),
+    }
+    payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    name = f"BENCH_table2_{profile.name}.json"
+    (bench_report_dir / name).write_text(payload)
+    out_dir = os.environ.get("REPRO_BENCH_OUTPUT_DIR")
+    if out_dir:  # CI sets this to collect the artifact across PRs
+        Path(out_dir).mkdir(parents=True, exist_ok=True)
+        (Path(out_dir) / name).write_text(payload)
 
 
 @pytest.mark.paper_artifact("table2")
-def test_table2_coverme_vs_rand_vs_afl(benchmark, profile, capsys):
+def test_table2_coverme_vs_rand_vs_afl(benchmark, profile, capsys, bench_report_dir):
     rows = benchmark.pedantic(table2.run, args=(profile,), iterations=1, rounds=1)
     summary = table2.summarize(rows)
+    _write_artifact(bench_report_dir, profile, rows, summary)
 
     with capsys.disabled():
         print()

@@ -117,14 +117,19 @@ def coverme_tool(profile: Profile) -> CoverMeTool:
 
 
 def instrument_case(case: BenchmarkCase) -> InstrumentedProgram:
-    """Instrument a benchmark case with a signature describing its input box."""
+    """Instrument a benchmark case with a signature describing its input box.
+
+    The case's ``extras`` (helper callees such as ``ieee754_sqrt`` under
+    ``pow``) are instrumented into the same program with offset labels, so
+    branch totals follow the paper's Gcov accounting of Table 2.
+    """
     signature = ProgramSignature(
         name=case.function,
         arity=case.arity,
         low=tuple([-1.0e6] * case.arity),
         high=tuple([1.0e6] * case.arity),
     )
-    return instrument(case.entry, signature=signature)
+    return instrument(case.entry, extra_functions=case.extras, signature=signature)
 
 
 def run_case(

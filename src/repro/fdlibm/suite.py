@@ -30,6 +30,8 @@ from repro.fdlibm.e_scalb import ieee754_scalb
 from repro.fdlibm.e_sinh import ieee754_sinh
 from repro.fdlibm.e_sqrt import ieee754_sqrt
 from repro.fdlibm.k_cos import kernel_cos
+from repro.fdlibm.k_sin import kernel_sin
+from repro.fdlibm.k_tan import kernel_tan
 from repro.fdlibm.s_asinh import fdlibm_asinh
 from repro.fdlibm.s_atan import fdlibm_atan
 from repro.fdlibm.s_cbrt import fdlibm_cbrt
@@ -44,6 +46,7 @@ from repro.fdlibm.s_logb import fdlibm_logb
 from repro.fdlibm.s_modf import fdlibm_modf
 from repro.fdlibm.s_nextafter import fdlibm_nextafter
 from repro.fdlibm.s_rint import fdlibm_rint
+from repro.fdlibm.s_scalbn import fdlibm_scalbn
 from repro.fdlibm.s_sin import fdlibm_sin
 from repro.fdlibm.s_tan import fdlibm_tan
 from repro.fdlibm.s_tanh import fdlibm_tanh
@@ -69,22 +72,34 @@ class PaperReference:
 
 @dataclass(frozen=True)
 class BenchmarkCase:
-    """One row of the paper's benchmark tables bound to its Python port."""
+    """One row of the paper's benchmark tables bound to its Python port.
+
+    ``extras`` lists the helper callees whose branches the paper's Gcov
+    numbers include ("Handling Function Calls", Sect. 5.3); they are handed
+    to ``instrument(extra_functions=...)`` so their conditionals are labeled
+    after the entry function's and counted in the same program.
+    """
 
     file: str
     function: str
     entry: Callable = field(repr=False)
     arity: int
     paper: PaperReference
+    extras: tuple[Callable, ...] = field(default=(), repr=False)
 
     @property
     def key(self) -> str:
         return f"{self.file}:{self.function}"
 
 
-def _case(file, function, entry, arity, *paper_values) -> BenchmarkCase:
+def _case(file, function, entry, arity, *paper_values, extras=()) -> BenchmarkCase:
     return BenchmarkCase(
-        file=file, function=function, entry=entry, arity=arity, paper=PaperReference(*paper_values)
+        file=file,
+        function=function,
+        entry=entry,
+        arity=arity,
+        paper=PaperReference(*paper_values),
+        extras=tuple(extras),
     )
 
 
@@ -107,18 +122,18 @@ BENCHMARKS: tuple[BenchmarkCase, ...] = (
     _case("e_j1.c", "ieee754_y1(double)", ieee754_y1, 1, 16, 56.3, 75.0, 100.0, 0.7, 56.3, 5701.7, 100.0),
     _case("e_log.c", "ieee754_log(double)", ieee754_log, 1, 22, 59.1, 72.7, 90.9, 3.4, 59.1, 5109.0, 100.0),
     _case("e_log10.c", "ieee754_log10(double)", ieee754_log10, 1, 8, 62.5, 75.0, 87.5, 1.1, 62.5, 1175.5, 100.0),
-    _case("e_pow.c", "ieee754_pow(double,double)", ieee754_pow, 2, 114, 15.8, 88.6, 81.6, 18.8, None, None, 92.7),
+    _case("e_pow.c", "ieee754_pow(double,double)", ieee754_pow, 2, 114, 15.8, 88.6, 81.6, 18.8, None, None, 92.7, extras=(ieee754_sqrt,)),
     _case("e_rem_pio2.c", "ieee754_rem_pio2(double,double*)", ieee754_rem_pio2, 1, 30, 33.3, 86.7, 93.3, 1.1, None, None, 92.2),
     _case("e_remainder.c", "ieee754_remainder(double,double)", ieee754_remainder, 2, 22, 45.5, 50.0, 100.0, 2.2, 45.5, 4629.0, 100.0),
-    _case("e_scalb.c", "ieee754_scalb(double,double)", ieee754_scalb, 2, 14, 50.0, 42.9, 92.9, 8.5, 57.1, 1989.8, 100.0),
+    _case("e_scalb.c", "ieee754_scalb(double,double)", ieee754_scalb, 2, 14, 50.0, 42.9, 92.9, 8.5, 57.1, 1989.8, 100.0, extras=(fdlibm_rint, fdlibm_scalbn)),
     _case("e_sinh.c", "ieee754_sinh(double)", ieee754_sinh, 1, 20, 35.0, 70.0, 95.0, 0.6, 35.0, 5534.8, 100.0),
-    _case("e_sqrt.c", "iddd754_sqrt(double)", ieee754_sqrt, 1, 46, 69.6, 71.7, 82.6, 15.6, None, None, 94.1),
+    _case("e_sqrt.c", "ieee754_sqrt(double)", ieee754_sqrt, 1, 46, 69.6, 71.7, 82.6, 15.6, None, None, 94.1),
     _case("k_cos.c", "kernel_cos(double,double)", kernel_cos, 2, 8, 37.5, 87.5, 87.5, 15.4, 37.5, 1885.1, 100.0),
     _case("s_asinh.c", "asinh(double)", fdlibm_asinh, 1, 12, 41.7, 83.3, 91.7, 8.4, 41.7, 2439.1, 100.0),
     _case("s_atan.c", "atan(double)", fdlibm_atan, 1, 26, 19.2, 15.4, 88.5, 8.5, 26.9, 7584.7, 96.4),
     _case("s_cbrt.c", "cbrt(double)", fdlibm_cbrt, 1, 6, 50.0, 66.7, 83.3, 0.4, 50.0, 3583.4, 91.7),
     _case("s_ceil.c", "ceil(double)", fdlibm_ceil, 1, 30, 10.0, 83.3, 83.3, 8.8, 36.7, 7166.3, 100.0),
-    _case("s_cos.c", "cos(double)", fdlibm_cos, 1, 8, 75.0, 87.5, 100.0, 0.4, 75.0, 669.4, 100.0),
+    _case("s_cos.c", "cos(double)", fdlibm_cos, 1, 8, 75.0, 87.5, 100.0, 0.4, 75.0, 669.4, 100.0, extras=(kernel_cos, kernel_sin, ieee754_rem_pio2)),
     _case("s_erf.c", "erf(double)", fdlibm_erf, 1, 20, 30.0, 85.0, 100.0, 9.0, 30.0, 28419.8, 100.0),
     _case("s_erf.c", "erfc(double)", fdlibm_erfc, 1, 24, 25.0, 79.2, 100.0, 0.1, 25.0, 6611.8, 100.0),
     _case("s_expm1.c", "expm1(double)", fdlibm_expm1, 1, 42, 21.4, 85.7, 97.6, 1.1, None, None, 100.0),
@@ -129,13 +144,20 @@ BENCHMARKS: tuple[BenchmarkCase, ...] = (
     _case("s_modf.c", "modf(double,double*)", fdlibm_modf, 1, 10, 33.3, 80.0, 100.0, 3.5, 50.0, 1795.1, 100.0),
     _case("s_nextafter.c", "nextafter(double,double)", fdlibm_nextafter, 2, 44, 59.1, 65.9, 79.6, 17.5, 50.0, 7777.3, 88.9),
     _case("s_rint.c", "rint(double)", fdlibm_rint, 1, 20, 15.0, 75.0, 90.0, 3.0, 35.0, 5355.8, 100.0),
-    _case("s_sin.c", "sin(double)", fdlibm_sin, 1, 8, 75.0, 87.5, 100.0, 0.3, 75.0, 667.1, 100.0),
-    _case("s_tan.c", "tan(double)", fdlibm_tan, 1, 4, 50.0, 75.0, 100.0, 0.3, 50.0, 704.2, 100.0),
+    _case("s_sin.c", "sin(double)", fdlibm_sin, 1, 8, 75.0, 87.5, 100.0, 0.3, 75.0, 667.1, 100.0, extras=(kernel_sin, kernel_cos, ieee754_rem_pio2)),
+    _case("s_tan.c", "tan(double)", fdlibm_tan, 1, 4, 50.0, 75.0, 100.0, 0.3, 50.0, 704.2, 100.0, extras=(kernel_tan, ieee754_rem_pio2)),
     _case("s_tanh.c", "tanh(double)", fdlibm_tanh, 1, 12, 33.3, 75.0, 100.0, 0.7, 33.3, 2805.5, 100.0),
 )
 
 _BY_KEY = {case.key: case for case in BENCHMARKS}
-_BY_FUNCTION = {case.function.split("(")[0]: case for case in BENCHMARKS}
+
+# Bare C function name ("ieee754_sqrt", "atan") plus the Python entry point's
+# name ("fdlibm_atan"); first registration wins so the C names stay canonical.
+_BY_FUNCTION: dict[str, BenchmarkCase] = {}
+for _bench_case in BENCHMARKS:
+    _BY_FUNCTION.setdefault(_bench_case.function.split("(")[0], _bench_case)
+    _BY_FUNCTION.setdefault(_bench_case.entry.__name__, _bench_case)
+del _bench_case
 
 
 def iter_cases(limit: Optional[int] = None) -> Iterator[BenchmarkCase]:
@@ -147,7 +169,7 @@ def iter_cases(limit: Optional[int] = None) -> Iterator[BenchmarkCase]:
 
 
 def get_case(name: str) -> BenchmarkCase:
-    """Look up a case by ``"file:function"`` key or bare function name."""
+    """Look up a case by ``"file:function"`` key, bare C name or entry name."""
     if name in _BY_KEY:
         return _BY_KEY[name]
     if name in _BY_FUNCTION:

@@ -23,6 +23,7 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 
+from repro.instrument.ast_pass import iter_child_blocks
 from repro.instrument.runtime import BranchId
 
 
@@ -68,7 +69,13 @@ class DescendantAnalysis:
         return self._labels.get(id(stmt))  # type: ignore[attr-defined]
 
     def _contains(self, stmts: list[ast.stmt]) -> frozenset[int]:
-        """All conditional labels syntactically contained in a block."""
+        """All conditional labels syntactically contained in a block.
+
+        Uses the same :func:`~repro.instrument.ast_pass.iter_child_blocks`
+        helper as :func:`~repro.instrument.ast_pass.collect_conditionals`, so
+        every statement form the labeler descends into (including ``try*``
+        handlers and ``match`` cases) is also seen here.
+        """
         found: set[int] = set()
 
         def visit(block: list[ast.stmt]) -> None:
@@ -78,12 +85,8 @@ class DescendantAnalysis:
                 label = self._label_of(stmt)
                 if label is not None:
                     found.add(label)
-                for attr in ("body", "orelse", "finalbody"):
-                    child = getattr(stmt, attr, None)
-                    if child:
-                        visit(child)
-                for handler in getattr(stmt, "handlers", []) or []:
-                    visit(handler.body)
+                for child in iter_child_blocks(stmt):
+                    visit(child)
 
         visit(stmts)
         return frozenset(found)
@@ -140,11 +143,11 @@ class DescendantAnalysis:
             body_labels = self._contains(stmt.body)
             self._walk_block(stmt.body, body_labels | following)
             self._walk_block(stmt.orelse, following)
-        elif isinstance(stmt, ast.Try):
-            self._walk_block(stmt.body, following)
-            for handler in stmt.handlers:
-                self._walk_block(handler.body, following)
-            self._walk_block(stmt.orelse, following)
-            self._walk_block(stmt.finalbody, following)
-        elif isinstance(stmt, ast.With):
-            self._walk_block(stmt.body, following)
+        else:
+            # Every other block-bearing statement (with, try/try* including
+            # handlers, match cases, async variants) walks its child blocks
+            # with the same continuation: each block may or may not run, and
+            # conditionals after the statement stay reachable -- a safe
+            # over-approximation for Def. 3.2.
+            for block in iter_child_blocks(stmt):
+                self._walk_block(block, following)

@@ -160,6 +160,24 @@ class InstrumentedProgram:
         return 2 * len(self.conditionals)
 
     @property
+    def fallback_conditionals(self) -> tuple[ConditionalInfo, ...]:
+        """Conditionals whose test compiled to the distance-blind ``truth`` fallback.
+
+        These labels receive coverage recording but no statically-guaranteed
+        branch-distance guidance (the runtime still promotes numeric values
+        at execution time).  A complete lowering keeps this empty; anything
+        listed here is invisible to the representing function's gradient.
+        """
+        return tuple(cond for cond in self.conditionals if cond.form == "truth")
+
+    def conditional_forms(self) -> dict[str, int]:
+        """Histogram of the lowered conditional forms (see ``CONDITIONAL_FORMS``)."""
+        counts: dict[str, int] = {}
+        for cond in self.conditionals:
+            counts[cond.form] = counts.get(cond.form, 0) + 1
+        return counts
+
+    @property
     def all_branches(self) -> frozenset[BranchId]:
         branches: set[BranchId] = set()
         for cond in self.conditionals:

@@ -14,9 +14,38 @@ instrumented program is rewritten into calls on an installed runtime:
   :meth:`Runtime.resolve`, which composes them, hands them to the installed
   :class:`PenaltyPolicy` (CoverMe's ``pen``) to update ``r``, and records
   branch coverage.
-* :meth:`Runtime.truth` handles non-comparison tests (``if flag:``); numeric
-  values are promoted to the comparison ``value != 0`` per Sect. 5.3, anything
-  else is recorded for coverage only.
+* :meth:`Runtime.tleaf` evaluates a *non-comparison* leaf inside a Boolean
+  combination (``_isnan(x) or _isnan(fn)``): the value is promoted to the
+  comparison ``value != 0`` (Sect. 5.3) and its distances join the
+  composition like any comparison leaf.
+* :meth:`Runtime.truth` handles bare non-comparison tests (``if flag:``);
+  numeric values are promoted to the comparison ``value != 0`` per Sect. 5.3,
+  anything else is recorded for coverage only.
+
+Composition programs
+--------------------
+
+Arbitrarily nested Boolean tests (``a or (b and c)``, De-Morganed ``not``,
+chained comparisons, ternary tests) are lowered by the AST pass into leaf
+probes plus a constant *composition program*: a postfix token tuple executed
+by :meth:`Runtime.resolve`.  Tokens are small ints:
+
+* ``token >= 0`` -- push the distance pair stashed for leaf ``token`` (an
+  unevaluated or non-numeric leaf pushes "no distance");
+* ``token == TREE_NOT`` -- swap the pair on top of the stack (logical
+  negation swaps the true/false distances);
+* ``token <= -4`` -- reduce the top ``k`` pairs with ``and`` (even tokens,
+  ``tree_and(k)``) or ``or`` (odd tokens, ``tree_or(k)``): for ``and`` the
+  distance to truth is the sum of the children's (all must hold) and the
+  distance to falsity their minimum (falsifying any child suffices); ``or``
+  is dual.  Children without a usable distance contribute nothing, which
+  matches the information available after short-circuiting.
+
+Both runtimes execute the same token semantics with identical arithmetic
+ordering, so composed distances (and therefore ``r``) stay bit-identical
+across execution profiles.  :class:`FastRuntime` composes on preallocated
+stacks with stamp-validated leaf slots, keeping the optimizer's penalty
+fast path allocation-free.
 
 Execution profiles
 ------------------
@@ -64,6 +93,23 @@ from typing import Iterable, Optional, Protocol
 from repro.core.branch_distance import DEFAULT_EPSILON, branch_distance, negate_op
 
 _COMPARISON_OPS = {"==", "!=", "<", "<=", ">", ">="}
+
+#: Composition-program token: logical NOT (swap the distance pair on top).
+TREE_NOT = -1
+
+
+def tree_and(arity: int) -> int:
+    """Composition-program token reducing the top ``arity`` pairs with AND."""
+    if arity < 2:
+        raise ValueError("and/or composition nodes need at least two children")
+    return -2 * arity
+
+
+def tree_or(arity: int) -> int:
+    """Composition-program token reducing the top ``arity`` pairs with OR."""
+    if arity < 2:
+        raise ValueError("and/or composition nodes need at least two children")
+    return -2 * arity - 1
 
 
 class ExecutionProfile(str, enum.Enum):
@@ -214,6 +260,7 @@ class Runtime:
         self._r = 1.0
         self._record: ExecutionRecord = ExecutionRecord()
         self._pending: dict[int, list[tuple[Optional[float], Optional[float]]]] = {}
+        self._leaves: dict[int, dict[int, tuple[Optional[float], Optional[float]]]] = {}
         self.total_evaluations = 0
 
     # -- execution lifecycle -------------------------------------------------
@@ -223,6 +270,7 @@ class Runtime:
         self._r = 1.0
         self._record = ExecutionRecord()
         self._pending = {}
+        self._leaves = {}
         self.total_evaluations += 1
 
     def end(self) -> tuple[float, ExecutionRecord]:
@@ -253,18 +301,37 @@ class Runtime:
         d_true, d_false = self._distances(op, lhs, rhs)
         return self._finish(conditional, outcome, d_true, d_false)
 
-    def cmp(self, conditional: int, op: str, lhs, rhs) -> bool:
+    def cmp(self, conditional: int, op: str, lhs, rhs, leaf: Optional[int] = None) -> bool:
         """Instrumented comparison inside a Boolean combination test.
 
         Computes the branch distances of Def. 4.1 towards the true and the
         false outcome, stashes them for :meth:`resolve`, and returns the
-        outcome of the comparison so program semantics are preserved.
+        outcome of the comparison so program semantics are preserved.  With a
+        ``leaf`` index the pair is addressed by a composition program; without
+        one it joins the legacy flat ``"and"``/``"or"`` part list.
         """
         if op not in _COMPARISON_OPS:
             raise ValueError(f"unsupported comparison operator {op!r}")
         outcome = _evaluate(op, lhs, rhs)
         d_true, d_false = self._distances(op, lhs, rhs)
-        self._pending.setdefault(conditional, []).append((d_true, d_false))
+        if leaf is None:
+            self._pending.setdefault(conditional, []).append((d_true, d_false))
+        else:
+            self._leaves.setdefault(conditional, {})[leaf] = (d_true, d_false)
+        return outcome
+
+    def tleaf(self, conditional: int, leaf: int, value, negated: bool = False) -> bool:
+        """Non-comparison leaf inside a composition tree.
+
+        The value is promoted exactly like :meth:`truth` (numbers compare
+        against 0, Booleans get epsilon distances, anything else contributes
+        no distance); ``negated`` folds a De-Morganed ``not`` into the leaf.
+        """
+        outcome, d_true, d_false = self._promoted(value)
+        if negated:
+            outcome = not outcome
+            d_true, d_false = d_false, d_true
+        self._leaves.setdefault(conditional, {})[leaf] = (d_true, d_false)
         return outcome
 
     def truth(self, conditional: int, value) -> bool:
@@ -274,6 +341,33 @@ class Runtime:
         (Sect. 5.3); other values -- including ``int``s too large for
         ``float()`` -- only get coverage recording.
         """
+        outcome, d_true, d_false = self._promoted(value)
+        return self._finish(conditional, outcome, d_true, d_false)
+
+    def resolve(self, conditional: int, mode, outcome) -> bool:
+        """Finalize the evaluation of ``conditional``'s test.
+
+        ``mode`` is either a postfix composition program (a token tuple, see
+        the module docstring) over leaves stashed by :meth:`cmp`/:meth:`tleaf`,
+        or the legacy flat ``"and"``/``"or"`` string over un-indexed
+        :meth:`cmp` parts (``"single"`` is accepted for backwards
+        compatibility with the pre-fused probe protocol).  The composed
+        distances are handed to the penalty policy which updates ``r``; the
+        branch taken is added to the coverage record.
+        """
+        outcome = bool(outcome)
+        if type(mode) is tuple:
+            leaves = self._leaves.pop(conditional, None)
+            d_true, d_false = _compose_program(mode, leaves if leaves is not None else {})
+        else:
+            parts = self._pending.pop(conditional, [])
+            d_true, d_false = _compose(mode, parts)
+        return self._finish(conditional, outcome, d_true, d_false)
+
+    # -- internals -------------------------------------------------------------
+
+    def _promoted(self, value) -> tuple[bool, Optional[float], Optional[float]]:
+        """Truthiness outcome plus the Sect. 5.3 promoted distance pair."""
         outcome = bool(value)
         if isinstance(value, bool):
             d_true: Optional[float] = 0.0 if outcome else self.epsilon
@@ -285,23 +379,7 @@ class Runtime:
             d_true, d_false = self._distances("!=", value, 0.0)
         else:
             d_true, d_false = None, None
-        return self._finish(conditional, outcome, d_true, d_false)
-
-    def resolve(self, conditional: int, mode: str, outcome) -> bool:
-        """Finalize the evaluation of ``conditional``'s test.
-
-        ``mode`` is ``"and"``/``"or"`` for Boolean combinations of
-        comparisons stashed by :meth:`cmp` (``"single"`` is accepted for
-        backwards compatibility with the pre-fused probe protocol).  The
-        composed distances are handed to the penalty policy which updates
-        ``r``; the branch taken is added to the coverage record.
-        """
-        outcome = bool(outcome)
-        parts = self._pending.pop(conditional, [])
-        d_true, d_false = _compose(mode, parts)
-        return self._finish(conditional, outcome, d_true, d_false)
-
-    # -- internals -------------------------------------------------------------
+        return outcome, d_true, d_false
 
     def _finish(
         self,
@@ -381,6 +459,10 @@ class FastRuntime:
         "_covered",
         "_zeros",
         "_pending",
+        "_leaf_slots",
+        "_stack_t",
+        "_stack_f",
+        "_stack_u",
         "_last_conditional",
         "_last_outcome",
     )
@@ -399,6 +481,14 @@ class FastRuntime:
         self._zeros = bytes(2 * n_conditionals)
         self._covered = bytearray(self._zeros)
         self._pending: dict[int, list[tuple[Optional[float], Optional[float]]]] = {}
+        # Composition-tree state, allocated once per conditional on first use
+        # and reused across executions: per-leaf distance slots validated by
+        # (execution, resolve-generation) stamps -- begin() stays O(1) and no
+        # per-execution objects are created -- plus shared postfix stacks.
+        self._leaf_slots: dict[int, list] = {}
+        self._stack_t: list[float] = []
+        self._stack_f: list[float] = []
+        self._stack_u = bytearray()
         self._last_conditional = -1
         self._last_outcome = False
 
@@ -491,13 +581,113 @@ class FastRuntime:
             self._r = branch_distance(negate_op(op), lhs, rhs, self.epsilon)
         return outcome
 
-    def cmp(self, conditional: int, op: str, lhs, rhs) -> bool:
+    def cmp(self, conditional: int, op: str, lhs, rhs, leaf: Optional[int] = None) -> bool:
         """Comparison inside a Boolean combination; stashes distances."""
-        if op not in _COMPARISON_OPS:
-            raise ValueError(f"unsupported comparison operator {op!r}")
-        outcome = _evaluate(op, lhs, rhs)
-        d_true, d_false = self._distances(op, lhs, rhs)
-        self._pending.setdefault(conditional, []).append((d_true, d_false))
+        if leaf is None:
+            if op not in _COMPARISON_OPS:
+                raise ValueError(f"unsupported comparison operator {op!r}")
+            outcome = _evaluate(op, lhs, rhs)
+            self._pending.setdefault(conditional, []).append(self._distances(op, lhs, rhs))
+            return outcome
+        outcome = _evaluate(op, lhs, rhs)  # raises on an unsupported operator
+        if (self.saturated_mask >> (conditional << 1)) & 3 == 3:
+            # Def. 4.2(c): both branches saturated -- whatever the composed
+            # pair would be, r is kept; resolve() skips the composition for
+            # this conditional too, so nothing needs to be stashed at all.
+            return outcome
+        slots = self._leaf_slots.get(conditional)
+        if slots is None or leaf >= len(slots[1]):
+            slots = self._grow_leaf_slots(conditional, leaf)
+        execs, gens, ts, fs, oks = slots[1], slots[2], slots[3], slots[4], slots[5]
+        execs[leaf] = self.total_evaluations
+        gens[leaf] = slots[0]
+        if lhs.__class__ is float:
+            a = lhs
+        else:
+            try:
+                a = float(lhs)
+            except (TypeError, ValueError, OverflowError):
+                oks[leaf] = 0
+                return outcome
+        if rhs.__class__ is float:
+            b = rhs
+        else:
+            try:
+                b = float(rhs)
+            except (TypeError, ValueError, OverflowError):
+                oks[leaf] = 0
+                return outcome
+        if a != a or b != b:  # NaN operand (matches Runtime._distances)
+            if op == "!=":
+                ts[leaf] = 0.0
+                fs[leaf] = 1.0e300
+            else:
+                ts[leaf] = 1.0e300
+                fs[leaf] = 0.0
+        else:
+            # Both directions of Def. 4.1 fused around one squared gap; the
+            # branch-by-branch cases reproduce branch_distance(op)/
+            # branch_distance(negate_op(op)) bit for bit ((b-a)**2 == (a-b)**2
+            # exactly, min() keeps a NaN gap like _squared_gap does).
+            eps = self.epsilon
+            gap = a - b
+            g = 1.0e300 if math.isinf(gap) else min(gap * gap, 1.0e300)
+            if op == "<":
+                ts[leaf] = 0.0 if a < b else g + eps
+                fs[leaf] = 0.0 if b <= a else g
+            elif op == "<=":
+                ts[leaf] = 0.0 if a <= b else g
+                fs[leaf] = 0.0 if b < a else g + eps
+            elif op == ">":
+                ts[leaf] = 0.0 if b < a else g + eps
+                fs[leaf] = 0.0 if a <= b else g
+            elif op == ">=":
+                ts[leaf] = 0.0 if b <= a else g
+                fs[leaf] = 0.0 if a < b else g + eps
+            elif op == "==":
+                ts[leaf] = g
+                fs[leaf] = eps if a == b else 0.0
+            else:  # "!=" -- _evaluate() already rejected everything else
+                ts[leaf] = 0.0 if a != b else eps
+                fs[leaf] = g
+        oks[leaf] = 1
+        return outcome
+
+    def tleaf(self, conditional: int, leaf: int, value, negated: bool = False) -> bool:
+        """Non-comparison leaf inside a composition tree (promoted truthiness)."""
+        outcome = bool(value)
+        if (self.saturated_mask >> (conditional << 1)) & 3 == 3:
+            # Def. 4.2(c): resolve() will keep r without composing.
+            return not outcome if negated else outcome
+        slots = self._leaf_slots.get(conditional)
+        if slots is None or leaf >= len(slots[1]):
+            slots = self._grow_leaf_slots(conditional, leaf)
+        execs, gens, ts, fs, oks = slots[1], slots[2], slots[3], slots[4], slots[5]
+        execs[leaf] = self.total_evaluations
+        gens[leaf] = slots[0]
+        if isinstance(value, bool):
+            d_true = 0.0 if outcome else self.epsilon
+            d_false = self.epsilon if outcome else 0.0
+        elif isinstance(value, (int, float)):
+            try:
+                promoted = float(value)
+            except (TypeError, ValueError, OverflowError):
+                oks[leaf] = 0
+                return not outcome if negated else outcome
+            if promoted != promoted:  # NaN is != 0: the test holds
+                d_true, d_false = 0.0, 1.0e300
+            else:
+                d_true = branch_distance("!=", promoted, 0.0, self.epsilon)
+                d_false = branch_distance("==", promoted, 0.0, self.epsilon)
+        else:
+            oks[leaf] = 0
+            return not outcome if negated else outcome
+        if negated:
+            outcome = not outcome
+            d_true, d_false = d_false, d_true
+        ts[leaf] = d_true
+        fs[leaf] = d_false
+        oks[leaf] = 1
         return outcome
 
     def truth(self, conditional: int, value) -> bool:
@@ -512,14 +702,137 @@ class FastRuntime:
             d_true, d_false = None, None
         return self._finish(conditional, outcome, d_true, d_false)
 
-    def resolve(self, conditional: int, mode: str, outcome) -> bool:
-        """Finalize a Boolean-combination test stashed by :meth:`cmp`."""
+    def resolve(self, conditional: int, mode, outcome) -> bool:
+        """Finalize a Boolean-combination test stashed by :meth:`cmp`/:meth:`tleaf`."""
         outcome = bool(outcome)
+        if type(mode) is tuple:
+            if (self.saturated_mask >> (conditional << 1)) & 3 == 3:
+                # Def. 4.2(c): r is kept whatever the composed pair would be;
+                # the saturation mask is frozen per execution, so the leaves
+                # skipped the stash under the same decision.
+                return self._finish(conditional, outcome, None, None)
+            d_true, d_false = self._compose_tree(conditional, mode)
+            return self._finish(conditional, outcome, d_true, d_false)
         parts = self._pending.pop(conditional, [])
         d_true, d_false = _compose(mode, parts)
         return self._finish(conditional, outcome, d_true, d_false)
 
     # -- internals -------------------------------------------------------------
+
+    def _grow_leaf_slots(self, conditional: int, leaf: int) -> list:
+        """Create or grow the reusable leaf-slot arrays of one conditional.
+
+        Slot layout: ``[generation, exec_stamps, gen_stamps, d_true, d_false,
+        usable]``.  A leaf slot is valid only when both stamps match the
+        current execution and the conditional's resolve generation, so loop
+        iterations and interleaved helper calls never see stale distances.
+        """
+        slots = self._leaf_slots.get(conditional)
+        if slots is None:
+            slots = [0, [], [], [], [], bytearray()]
+            self._leaf_slots[conditional] = slots
+        grow = leaf + 1 - len(slots[1])
+        if grow > 0:
+            slots[1].extend([-1] * grow)
+            slots[2].extend([-1] * grow)
+            slots[3].extend([0.0] * grow)
+            slots[4].extend([0.0] * grow)
+            slots[5].extend(bytearray(grow))
+        return slots
+
+    def _compose_tree(
+        self, conditional: int, program: tuple[int, ...]
+    ) -> tuple[Optional[float], Optional[float]]:
+        """Allocation-free mirror of :func:`_compose_program`.
+
+        Executes the postfix program on the preallocated stacks against the
+        conditional's stamped leaf slots, then bumps the conditional's
+        resolve generation so the next evaluation round (e.g. the next
+        ``while`` iteration) starts from blank leaves.
+        """
+        slots = self._leaf_slots.get(conditional)
+        stack_t, stack_f, stack_u = self._stack_t, self._stack_f, self._stack_u
+        if len(program) > len(stack_t):
+            grow = len(program) - len(stack_t)
+            stack_t.extend([0.0] * grow)
+            stack_f.extend([0.0] * grow)
+            stack_u.extend(bytearray(grow))
+        if slots is None:
+            generation = 0
+            execs: list = []
+            gens: list = []
+            ts: list = []
+            fs: list = []
+            oks: bytearray = bytearray()
+        else:
+            generation = slots[0]
+            execs = slots[1]
+            gens = slots[2]
+            ts = slots[3]
+            fs = slots[4]
+            oks = slots[5]
+        exec_stamp = self.total_evaluations
+        n_slots = len(execs)
+        sp = 0
+        for token in program:
+            if token >= 0:
+                if (
+                    token < n_slots
+                    and execs[token] == exec_stamp
+                    and gens[token] == generation
+                    and oks[token]
+                ):
+                    stack_t[sp] = ts[token]
+                    stack_f[sp] = fs[token]
+                    stack_u[sp] = 1
+                else:
+                    stack_u[sp] = 0
+                sp += 1
+            elif token == TREE_NOT:
+                if sp == 0:
+                    raise ValueError("malformed composition program: NOT on empty stack")
+                if stack_u[sp - 1]:
+                    stack_t[sp - 1], stack_f[sp - 1] = stack_f[sp - 1], stack_t[sp - 1]
+            else:
+                arity = (-token) >> 1
+                if arity < 2 or arity > sp:
+                    raise ValueError(f"malformed composition program token {token}")
+                is_or = (-token) & 1
+                base = sp - arity
+                d_true = 0.0
+                d_false = 0.0
+                usable = 0
+                for index in range(base, sp):
+                    if not stack_u[index]:
+                        continue
+                    t = stack_t[index]
+                    f = stack_f[index]
+                    if not usable:
+                        d_true, d_false = t, f
+                        usable = 1
+                    elif is_or:
+                        if t < d_true:
+                            d_true = t
+                        d_false = d_false + f
+                    else:
+                        d_true = d_true + t
+                        if f < d_false:
+                            d_false = f
+                sp = base
+                if usable:
+                    stack_t[sp] = d_true
+                    stack_f[sp] = d_false
+                    stack_u[sp] = 1
+                else:
+                    stack_u[sp] = 0
+                sp += 1
+        if sp != 1:
+            raise ValueError("malformed composition program: non-singleton result")
+        if slots is not None:
+            slots[0] = generation + 1
+        if stack_u[0]:
+            return stack_t[0], stack_f[0]
+        return None, None
 
     def _finish(
         self,
@@ -577,6 +890,7 @@ class RuntimeHandle:
         # every probe a direct call on the runtime.
         self.test = runtime.test
         self.cmp = runtime.cmp
+        self.tleaf = runtime.tleaf
         self.truth = runtime.truth
         self.resolve = runtime.resolve
 
@@ -590,13 +904,16 @@ class RuntimeHandle:
     def test(self, conditional: int, op: str, lhs, rhs) -> bool:
         return self.runtime.test(conditional, op, lhs, rhs)
 
-    def cmp(self, conditional: int, op: str, lhs, rhs) -> bool:
-        return self.runtime.cmp(conditional, op, lhs, rhs)
+    def cmp(self, conditional: int, op: str, lhs, rhs, leaf: Optional[int] = None) -> bool:
+        return self.runtime.cmp(conditional, op, lhs, rhs, leaf)
+
+    def tleaf(self, conditional: int, leaf: int, value, negated: bool = False) -> bool:
+        return self.runtime.tleaf(conditional, leaf, value, negated)
 
     def truth(self, conditional: int, value) -> bool:
         return self.runtime.truth(conditional, value)
 
-    def resolve(self, conditional: int, mode: str, outcome) -> bool:
+    def resolve(self, conditional: int, mode, outcome) -> bool:
         return self.runtime.resolve(conditional, mode, outcome)
 
 
@@ -639,3 +956,62 @@ def _compose(
     if mode == "or":
         return min(trues), sum(falses)
     raise ValueError(f"unknown composition mode {mode!r}")
+
+
+def _compose_program(
+    program: tuple[int, ...],
+    leaves: dict[int, tuple[Optional[float], Optional[float]]],
+) -> tuple[Optional[float], Optional[float]]:
+    """Execute a postfix composition program over stashed leaf distances.
+
+    Mirrors :func:`_compose` semantics on arbitrary trees: children without a
+    usable pair (short-circuited or non-numeric) contribute nothing, and a
+    node whose children are all unusable is itself unusable.  The arithmetic
+    (left-to-right sums, first-wins minima) is ordered identically to
+    :meth:`FastRuntime._compose_tree` so both runtimes compose bit-identical
+    distances.
+    """
+    stack: list[Optional[tuple[float, float]]] = []
+    for token in program:
+        if token >= 0:
+            pair = leaves.get(token)
+            if pair is not None and pair[0] is None:
+                pair = None
+            stack.append(pair)  # type: ignore[arg-type]
+        elif token == TREE_NOT:
+            if not stack:
+                raise ValueError("malformed composition program: NOT on empty stack")
+            pair = stack[-1]
+            if pair is not None:
+                stack[-1] = (pair[1], pair[0])
+        else:
+            arity = (-token) >> 1
+            if arity < 2 or arity > len(stack):
+                raise ValueError(f"malformed composition program token {token}")
+            is_or = (-token) & 1
+            base = len(stack) - arity
+            d_true: Optional[float] = None
+            d_false: Optional[float] = None
+            for index in range(base, len(stack)):
+                pair = stack[index]
+                if pair is None:
+                    continue
+                t, f = pair
+                if d_true is None:
+                    d_true, d_false = t, f
+                elif is_or:
+                    if t < d_true:
+                        d_true = t
+                    d_false = d_false + f  # type: ignore[operator]
+                else:
+                    d_true = d_true + t
+                    if f < d_false:  # type: ignore[operator]
+                        d_false = f
+            del stack[base:]
+            stack.append(None if d_true is None else (d_true, d_false))  # type: ignore[arg-type]
+    if len(stack) != 1:
+        raise ValueError("malformed composition program: non-singleton result")
+    final = stack[0]
+    if final is None:
+        return None, None
+    return final

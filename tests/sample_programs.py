@@ -81,6 +81,50 @@ def truthiness(x: float) -> int:
     return 0
 
 
+def nested_boolean(x: float, y: float) -> int:
+    """A nested Boolean tree like Fdlibm's ``ix < a or (ix == a and lx <= b)``."""
+    if x < -1.0 or (x == 0.0 and y <= 5.0):
+        return 1
+    if (x > 2.0 or y > 2.0) and x + y < 100.0:
+        return 2
+    return 3
+
+
+def demorgan(x: float, y: float) -> int:
+    """``not`` over a Boolean tree (lowered by De Morgan)."""
+    if not (x > 0.0 and y > 0.0):
+        return 1
+    if not (x > 10.0 or y > 10.0):
+        return 2
+    return 3
+
+
+def chained_comparison(x: float, y: float) -> int:
+    """Chained comparisons: each operand must be evaluated exactly once."""
+    if 0.0 < x < 10.0:
+        return 1
+    if -5.0 <= x + y <= 5.0 != x:
+        return 2
+    return 3
+
+
+def ternary_test(x: float, y: float) -> int:
+    """A ternary conditional expression used as a test."""
+    if (x > 1.0 if y > 0.0 else x < -1.0):
+        return 1
+    return 2
+
+
+def mixed_leaves(x: float, y: float) -> int:
+    """Boolean tree with a non-comparison leaf (promoted to ``!= 0``)."""
+    flag = x * y
+    if flag or x > 3.0:
+        return 1
+    if not (x != x or y <= -2.0):
+        return 2
+    return 3
+
+
 def infeasible_inner(x: float) -> int:
     """The inner true branch is infeasible: y = x*x is never -1."""
     if x <= 1.0:

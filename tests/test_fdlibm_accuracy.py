@@ -31,7 +31,7 @@ UNARY_CASES = [
     ("ieee754_log10", math.log10, [1e-10, 0.5, 1.0, 1000.0, 1e100]),
     ("expm1", math.expm1, [-50.0, -1.0, -1e-10, 0.0, 1e-10, 1.0, 30.0]),
     ("log1p", math.log1p, [-0.9, -1e-10, 0.0, 1e-10, 1.0, 1e15]),
-    ("iddd754_sqrt", math.sqrt, [0.0, 1e-308, 0.25, 2.0, 1e10, 1e300]),
+    ("ieee754_sqrt", math.sqrt, [0.0, 1e-308, 0.25, 2.0, 1e10, 1e300]),
     ("cbrt", lambda v: math.copysign(abs(v) ** (1.0 / 3.0), v), [-27.0, -0.125, 0.008, 8.0, 1e30]),
     ("sin", math.sin, [-10.0, -1.0, 0.0, 0.5, 1.570796, 100.0, 1e6]),
     ("cos", math.cos, [-10.0, -1.0, 0.0, 0.5, 3.14159, 100.0]),

@@ -26,6 +26,24 @@ class TestRegistry:
         with pytest.raises(KeyError):
             get_case("does_not_exist")
 
+    def test_every_row_resolves_by_key_and_bare_function_name(self):
+        """Regression: the e_sqrt row was registered as ``iddd754_sqrt``."""
+        for case in BENCHMARKS:
+            assert get_case(case.key) is case
+            assert get_case(case.function.split("(")[0]) is case
+            assert get_case(case.entry.__name__) is case
+
+    def test_sqrt_typo_fixed(self):
+        case = get_case("ieee754_sqrt")
+        assert case.file == "e_sqrt.c"
+        assert case.function == "ieee754_sqrt(double)"
+
+    def test_function_names_match_entry_ports(self):
+        """Every row's C name is a suffix-consistent match of its Python port."""
+        for case in BENCHMARKS:
+            bare = case.function.split("(")[0]
+            assert case.entry.__name__.endswith(bare) or case.entry.__name__ == bare, case.key
+
     def test_iter_cases_limit(self):
         assert len(list(iter_cases(limit=5))) == 5
         assert len(list(iter_cases())) == 40
@@ -76,6 +94,43 @@ class TestInstrumentability:
         paper = case.paper.branches
         assert ported >= paper / 2.0
         assert ported <= paper * 2.0
+
+
+class TestConditionalCompleteness:
+    """Sect. 5.3 promises every conditional gets distance guidance."""
+
+    @pytest.mark.parametrize("case", BENCHMARKS, ids=[c.key for c in BENCHMARKS])
+    def test_no_distance_blind_conditionals(self, case):
+        program = instrument(case.entry, extra_functions=case.extras)
+        assert program.fallback_conditionals == ()
+
+    def test_nested_boolean_functions_receive_guidance(self):
+        """The eight nested-boolean entries lower to composition trees."""
+        nested = ("ieee754_cosh", "ieee754_pow", "ieee754_remainder", "ieee754_scalb",
+                  "ieee754_sinh", "ieee754_sqrt", "fdlibm_atan", "fdlibm_nextafter")
+        for name in nested:
+            case = get_case(name)
+            program = instrument(case.entry)
+            assert program.conditional_forms().get("boolean", 0) >= 1, name
+            assert program.fallback_conditionals == ()
+
+    def test_pow_with_extras_exceeds_prior_branch_count(self):
+        """Helper callees count toward Table 2: pow+sqrt must beat bare pow's 100."""
+        case = get_case("ieee754_pow")
+        assert case.extras, "pow should wire ieee754_sqrt as an extra"
+        bare = instrument(case.entry)
+        with_extras = instrument(case.entry, extra_functions=case.extras)
+        assert bare.n_branches == 100
+        assert with_extras.n_branches > 100
+        assert with_extras.n_branches <= 2 * case.paper.branches
+
+    def test_extras_move_branch_totals_toward_paper(self):
+        for name in ("fdlibm_sin", "fdlibm_cos", "fdlibm_tan", "ieee754_scalb"):
+            case = get_case(name)
+            assert case.extras, name
+            bare = instrument(case.entry)
+            with_extras = instrument(case.entry, extra_functions=case.extras)
+            assert with_extras.n_branches > bare.n_branches, name
 
 
 class TestExclusions:

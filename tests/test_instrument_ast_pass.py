@@ -101,12 +101,15 @@ class TestRewriting:
         assert "'>='" in text
 
     def test_boolop_of_comparisons(self):
-        tree, _, _, _ = instrument_source(
+        tree, conds, _, _ = instrument_source(
             "def f(x, y):\n    if x > 0.0 and y > 0.0:\n        return 1\n    return 0\n"
         )
         text = ast.unparse(tree)
-        assert "'and'" in text
+        # Two indexed cmp leaves composed by a postfix program: leaves 0 and
+        # 1 reduced by tree_and(2) == -4.
         assert text.count(f"{HANDLE_NAME}.cmp") == 2
+        assert f"{HANDLE_NAME}.resolve(0, (0, 1, -4)" in text
+        assert conds[0].form == "boolean"
 
     def test_non_comparison_falls_back_to_truth(self):
         tree, _, _, _ = instrument_source(
@@ -133,13 +136,129 @@ class TestRewriting:
         with pytest.raises(ValueError):
             instrument_source("x = 1\n", function_name="nope")
 
-    def test_chained_comparison_not_split(self):
-        """``a < b < c`` is not a single supported comparison; falls back to truth."""
-        tree, _, _, _ = instrument_source(
+    def test_chained_comparison_lowered_to_conjunction(self):
+        """``a < b < c`` splits into leaves with a single-evaluation temporary."""
+        tree, conds, _, _ = instrument_source(
             "def f(x):\n    if 0.0 < x < 1.0:\n        return 1\n    return 0\n"
         )
         text = ast.unparse(tree)
-        assert f"{HANDLE_NAME}.truth" in text
+        assert f"{HANDLE_NAME}.truth" not in text
+        assert text.count(f"{HANDLE_NAME}.cmp") == 2
+        assert ":= x" in text  # the shared middle operand is bound once
+        assert conds[0].form == "chained"
+
+
+class TestTreeLowering:
+    """Nested trees, De Morgan, chains and ternaries become composition programs."""
+
+    def test_nested_boolean_tree(self):
+        tree, conds, _, _ = instrument_source(
+            "def f(x, y):\n"
+            "    if x < 0.0 or (x == 0.0 and y <= 5.0):\n"
+            "        return 1\n"
+            "    return 0\n"
+        )
+        text = ast.unparse(tree)
+        assert text.count(f"{HANDLE_NAME}.cmp") == 3
+        # Postfix: leaf 0, (leaves 1 2 -> and), or.
+        assert f"{HANDLE_NAME}.resolve(0, (0, 1, 2, -4, -5)" in text
+        assert conds[0].form == "boolean"
+
+    def test_not_over_tree_applies_de_morgan(self):
+        tree, conds, _, _ = instrument_source(
+            "def f(x, y):\n"
+            "    if not (x > 0.0 and y > 0.0):\n"
+            "        return 1\n"
+            "    return 0\n"
+        )
+        text = ast.unparse(tree)
+        # The negation is pushed to the leaves: flipped operators, or-node.
+        assert text.count("'<='") == 2
+        assert f"{HANDLE_NAME}.resolve(0, (0, 1, -5)" in text
+        assert conds[0].form == "boolean"
+
+    def test_not_over_truthiness_leaf_sets_negation_flag(self):
+        tree, _, _, _ = instrument_source(
+            "def f(flag, x):\n"
+            "    if not (flag or x > 0.0):\n"
+            "        return 1\n"
+            "    return 0\n"
+        )
+        text = ast.unparse(tree)
+        assert f"{HANDLE_NAME}.tleaf(0, 0, flag, True)" in text
+        assert "'<='" in text  # the comparison leaf is flipped too
+
+    def test_ternary_composes_both_sides(self):
+        tree, conds, _, _ = instrument_source(
+            "def f(x, y):\n"
+            "    if x > 0.0 if y > 0.0 else x < 0.0:\n"
+            "        return 1\n"
+            "    return 0\n"
+        )
+        text = ast.unparse(tree)
+        # (cond and body) or (not cond and orelse): the condition's leaf 0 is
+        # referenced twice, once under TREE_NOT (-1).
+        assert f"{HANDLE_NAME}.resolve(0, (0, 1, -4, 0, -1, 2, -4, -5)" in text
+        assert conds[0].form == "ternary"
+        assert "if" in text  # the ternary expression shape is preserved
+
+    def test_bare_non_comparison_test_is_promoted(self):
+        _, conds, _, _ = instrument_source(
+            "def f(m):\n    if m & 1:\n        return 1\n    return 0\n"
+        )
+        assert conds[0].form == "promoted"
+
+    def test_oversized_tree_falls_back_to_truth(self):
+        clauses = " or ".join(f"x > {i}.0" for i in range(70))
+        _, conds, _, _ = instrument_source(
+            f"def f(x):\n    if {clauses}:\n        return 1\n    return 0\n"
+        )
+        assert conds[0].form == "truth"
+
+    def test_deeply_nested_ternary_falls_back_fast(self):
+        """Regression: condition-position ternaries double the token program
+        per nesting level; the ceiling must trip during lowering, not after
+        an exponential list construction."""
+        expr = "x > 1.0"
+        for _ in range(24):
+            expr = f"(x > 1.0 if {expr} else x < -1.0)"
+        _, conds, _, _ = instrument_source(
+            f"def f(x):\n    if {expr}:\n        return 1\n    return 0\n"
+        )
+        assert conds[0].form == "truth"
+
+    def test_chain_operands_evaluated_exactly_once(self):
+        calls.clear()
+        program = instrument(chain_calls)
+        value, _, record = program.run((0.5,))
+        assert value == chain_calls_reference(0.5)
+        # One execution evaluates x through traced() exactly once even though
+        # the chain references it in two lowered comparisons.
+        assert calls == [0.5, 0.5]  # instrumented + reference run
+        assert len(record.path) == 1
+
+    def test_forms_inventory_across_suite_samples(self):
+        program = instrument(sp.nested_boolean)
+        assert program.conditional_forms() == {"boolean": 2}
+        assert program.fallback_conditionals == ()
+
+
+calls: list[float] = []
+
+
+def traced(value: float) -> float:
+    calls.append(value)
+    return value
+
+
+def chain_calls(x: float) -> int:
+    if 0.0 < traced(x) < 1.0:
+        return 1
+    return 0
+
+
+def chain_calls_reference(x: float) -> int:
+    return 1 if 0.0 < traced(x) < 1.0 else 0
 
 
 class TestSemanticsPreserved:
@@ -155,6 +274,11 @@ class TestSemanticsPreserved:
             (sp.boolean_condition, [(1.0, 1.0), (-20.0, 0.0), (0.0, 0.0)]),
             (sp.truthiness, [(5.0,), (1.0,)]),
             (sp.three_dimensional, [(1.0, 2.0, 7.0), (20.0, 1.0, -8.0), (0.0, 0.0, 0.0)]),
+            (sp.nested_boolean, [(-2.0, 0.0), (0.0, 3.0), (0.0, 9.0), (5.0, 1.0), (1.0, 1.0)]),
+            (sp.demorgan, [(1.0, 1.0), (-1.0, 2.0), (11.0, 0.5), (20.0, 20.0)]),
+            (sp.chained_comparison, [(0.5, 0.0), (-3.0, 1.0), (12.0, -20.0), (5.0, 0.0)]),
+            (sp.ternary_test, [(2.0, 1.0), (0.5, 1.0), (-2.0, -1.0), (0.0, -1.0)]),
+            (sp.mixed_leaves, [(0.0, 5.0), (4.0, 0.0), (1.0, -3.0), (0.0, 0.0)]),
         ],
     )
     def test_same_return_values(self, func, args):

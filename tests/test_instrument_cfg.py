@@ -2,9 +2,24 @@
 
 from __future__ import annotations
 
+import ast
+import sys
+import textwrap
+
+import pytest
+
+from repro.instrument.ast_pass import assign_labels, collect_conditionals, iter_child_blocks
+from repro.instrument.cfg import DescendantAnalysis
 from repro.instrument.program import instrument
 from repro.instrument.runtime import BranchId
 from tests import sample_programs as sp
+
+
+def analyze(source: str) -> tuple[list[ast.stmt], DescendantAnalysis]:
+    tree = ast.parse(textwrap.dedent(source))
+    func = tree.body[0]
+    labels, stmts = assign_labels(func)
+    return stmts, DescendantAnalysis.from_function(func, labels)
 
 
 class TestPaperExample:
@@ -57,6 +72,150 @@ class TestLoops:
         reach_false = analysis.descendant_conditionals(BranchId(loop_label, False))
         assert loop_label not in reach_false
         assert 1 in reach_false
+
+
+class TestMatchStatements:
+    SOURCE = """
+    def f(x):
+        match int(x):
+            case 0:
+                if x > 0.25:
+                    return 1
+                return 0
+            case _:
+                if x < -1.0:
+                    return -1
+        if x > 100.0:
+            return 7
+        return 2
+    """
+
+    def test_conditionals_in_case_bodies_are_collected_in_source_order(self):
+        stmts, _ = analyze(self.SOURCE)
+        assert len(stmts) == 3
+        assert [ast.unparse(s.test) for s in stmts] == ["x > 0.25", "x < -1.0", "x > 100.0"]
+
+    def test_descendants_flow_through_match_cases(self):
+        _, analysis = analyze(self.SOURCE)
+        # Case 0's body returns on both arms, so nothing follows either.
+        assert analysis.descendant_conditionals(BranchId(0, True)) == frozenset()
+        assert analysis.descendant_conditionals(BranchId(0, False)) == frozenset()
+        # Case _'s conditional falls through to the statement after the match.
+        assert analysis.descendant_conditionals(BranchId(1, True)) == frozenset()
+        assert 2 in analysis.descendant_conditionals(BranchId(1, False))
+        # Conditionals of sibling cases are alternatives, not descendants.
+        assert 1 not in analysis.descendant_conditionals(BranchId(0, False))
+
+    def test_match_inside_conditional_arm(self):
+        stmts, analysis = analyze(
+            """
+            def f(x):
+                if x > 0.0:
+                    match int(x):
+                        case 1:
+                            if x > 1.0:
+                                return 1
+                return 0
+            """
+        )
+        assert len(stmts) == 2
+        assert 1 in analysis.descendant_conditionals(BranchId(0, True))
+        assert 1 not in analysis.descendant_conditionals(BranchId(0, False))
+
+
+@pytest.mark.skipif(sys.version_info < (3, 11), reason="except* needs Python 3.11")
+class TestTryStarStatements:
+    SOURCE = """
+    def f(x):
+        try:
+            if x > 1.0:
+                raise ValueError("big")
+        except* ValueError:
+            if x > 2.0:
+                return 2
+        return 0
+    """
+
+    def test_conditionals_in_except_star_handlers_are_collected(self):
+        stmts, _ = analyze(self.SOURCE)
+        assert len(stmts) == 2
+        assert [ast.unparse(s.test) for s in stmts] == ["x > 1.0", "x > 2.0"]
+
+    def test_handler_conditionals_get_descendant_sets(self):
+        _, analysis = analyze(self.SOURCE)
+        assert BranchId(1, True) in analysis.reachable
+        assert analysis.descendant_conditionals(BranchId(1, True)) == frozenset()
+
+
+class TestWalkerSync:
+    """collect_conditionals and the analysis share one child-block helper."""
+
+    def test_every_collected_conditional_is_analyzed(self):
+        source = """
+        def f(x):
+            with open("dev/null") as fh:
+                if x > 0.0:
+                    return 1
+            try:
+                while x < 10.0:
+                    x = x * 2.0
+            except ValueError:
+                if x == 3.0:
+                    return 3
+            else:
+                if x == 4.0:
+                    return 4
+            finally:
+                if x == 5.0:
+                    return 5
+            match int(x):
+                case 0:
+                    if x != 0.5:
+                        return 6
+            return 0
+        """
+        stmts, analysis = analyze(source)
+        assert len(stmts) == 6
+        for label in range(len(stmts)):
+            reach_true = analysis.descendant_conditionals(BranchId(label, True))
+            reach_false = analysis.descendant_conditionals(BranchId(label, False))
+            assert reach_true is not None and reach_false is not None
+
+    def test_iter_child_blocks_source_order_for_try(self):
+        (stmt,) = ast.parse(
+            textwrap.dedent(
+                """
+                try:
+                    a = 1
+                except ValueError:
+                    b = 2
+                else:
+                    c = 3
+                finally:
+                    d = 4
+                """
+            )
+        ).body
+        blocks = [ast.unparse(block[0]) for block in iter_child_blocks(stmt) if block]
+        assert blocks == ["a = 1", "b = 2", "c = 3", "d = 4"]
+
+    def test_collect_conditionals_order_matches_labels(self):
+        source = """
+        def f(x):
+            match int(x):
+                case 0:
+                    if x > 1.0:
+                        return 1
+            if x > 2.0:
+                return 2
+            return 0
+        """
+        tree = ast.parse(textwrap.dedent(source))
+        func = tree.body[0]
+        stmts = collect_conditionals(func)
+        labels, ordered = assign_labels(func)
+        assert [labels[id(s)] for s in stmts] == [0, 1]
+        assert ordered == stmts
 
 
 class TestHelperMerging:

@@ -216,3 +216,28 @@ class TestSignature:
         signature = ProgramSignature.from_callable(sp.three_dimensional)
         assert signature.arity == 3
         assert len(signature.low) == 3
+
+
+class TestFallbackReport:
+    """Distance-blind conditionals are observable via fallback_conditionals."""
+
+    def test_complete_lowering_reports_no_fallbacks(self):
+        for func in (sp.paper_foo, sp.nested_boolean, sp.demorgan, sp.ternary_test,
+                     sp.chained_comparison, sp.mixed_leaves, sp.truthiness):
+            program = instrument(func)
+            assert program.fallback_conditionals == (), func.__name__
+
+    def test_oversized_tree_is_reported(self):
+        from repro.instrument.ast_pass import instrument_source
+
+        clauses = " or ".join(f"x > {i}.0" for i in range(70))
+        _, conds, _, _ = instrument_source(
+            f"def f(x):\n    if {clauses}:\n        return 1\n    return 0\n"
+        )
+        assert [c.form for c in conds] == ["truth"]
+
+    def test_conditional_forms_histogram(self):
+        program = instrument(sp.ternary_test)
+        assert program.conditional_forms() == {"ternary": 1}
+        program = instrument(sp.truthiness)
+        assert program.conditional_forms() == {"promoted": 1}

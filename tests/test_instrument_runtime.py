@@ -326,6 +326,32 @@ class TestFastRuntimeEquivalence:
         lambda rt: rt.test(2, ">=", 10**400, 1),
         lambda rt: rt.resolve(3, "and", rt.cmp(3, ">", 0.0, 1.0)),
         lambda rt: rt.resolve(3, "or", rt.cmp(3, ">", 0.0, 1.0) or rt.cmp(3, ">", -1.0, 1.0)),
+        # Composition programs: nested trees, negation, promoted leaves.
+        lambda rt: rt.resolve(
+            3, (0, 1, -4), rt.cmp(3, ">", 0.0, 1.0, 0) and rt.cmp(3, ">", 2.0, 1.0, 1)
+        ),
+        lambda rt: rt.resolve(
+            2,
+            (0, 1, 2, -4, -5),
+            rt.cmp(2, "<", 3.0, 1.0, 0)
+            or (rt.cmp(2, "==", 1.0, 1.0, 1) and rt.cmp(2, "<=", 2.0, 5.0, 2)),
+        ),
+        lambda rt: rt.resolve(
+            2,
+            (0, 1, 2, -4, -5),
+            rt.cmp(2, "<", 0.0, 1.0, 0)  # true: the and-side short-circuits away
+            or (rt.cmp(2, "==", 1.0, 1.0, 1) and rt.cmp(2, "<=", 2.0, 5.0, 2)),
+        ),
+        lambda rt: rt.resolve(1, (0, -1), rt.tleaf(1, 0, 2.5, True)),
+        lambda rt: rt.resolve(1, (0, 1, -5), rt.tleaf(1, 0, 0.0) or rt.cmp(1, ">", 4.0, 1.0, 1)),
+        lambda rt: rt.resolve(1, (0, 1, -4), rt.tleaf(1, 0, "opaque") and rt.cmp(1, ">", 4.0, 1.0, 1)),
+        # Ternary shape: the condition leaf 0 is referenced on both sides.
+        lambda rt: rt.resolve(
+            0,
+            (0, 1, -4, 0, -1, 2, -4, -5),
+            rt.cmp(0, ">", 2.0, 5.0, 1) if rt.cmp(0, ">", 1.0, 0.0, 0) else rt.cmp(0, "<", 1.0, 0.0, 2),
+        ),
+        lambda rt: rt.resolve(0, (0, 1, -4), rt.cmp(0, "!=", float("nan"), 1.0, 0) and rt.cmp(0, "<", 1.0, 2.0, 1)),
     ]
 
     @pytest.mark.parametrize("script_index", range(len(SCRIPTS)))
@@ -371,6 +397,143 @@ class TestFastRuntimeEquivalence:
         assert snap.last_conditional == 1
         assert snap.last_outcome is True
         assert snap.covered_mask() == branch_mask({BranchId(1, True)})
+
+
+class TestCompositionPrograms:
+    """The postfix tree composition shared by both runtimes."""
+
+    def test_and_program_matches_legacy_flat_compose(self):
+        legacy, tree = Runtime(policy=ConstantPolicy()), Runtime(policy=ConstantPolicy())
+        legacy.begin()
+        tree.begin()
+        legacy.resolve(0, "and", legacy.cmp(0, ">", 0.0, 1.0) and legacy.cmp(0, ">", -1.0, 1.0))
+        tree.resolve(0, (0, 1, -4), tree.cmp(0, ">", 0.0, 1.0, 0) and tree.cmp(0, ">", -1.0, 1.0, 1))
+        assert legacy.policy.calls == tree.policy.calls
+
+    def test_nested_or_of_and(self):
+        policy = ConstantPolicy()
+        rt = Runtime(policy=policy)
+        rt.begin()
+        # false or (true and false): composed d_true = min(or-children t).
+        outcome = rt.cmp(0, ">", 0.0, 1.0, 0) or (
+            rt.cmp(0, ">", 2.0, 1.0, 1) and rt.cmp(0, ">", 0.5, 1.0, 2)
+        )
+        assert rt.resolve(0, (0, 1, 2, -4, -5), outcome) is False
+        _, d_true, d_false, _, _ = policy.calls[0]
+        # and-node: (0 + (0.25 + eps), min(eps-ish...)) ; or of that and leaf0.
+        assert d_true == pytest.approx(0.25 + DEFAULT_EPSILON)
+        assert d_false == 0.0
+
+    def test_not_token_swaps_pair(self):
+        policy = ConstantPolicy()
+        rt = Runtime(policy=policy)
+        rt.begin()
+        outcome = not rt.cmp(0, ">", 0.0, 1.0, 0)
+        assert rt.resolve(0, (0, -1), outcome) is True
+        _, d_true, d_false, _, _ = policy.calls[0]
+        assert d_true == 0.0
+        assert d_false == pytest.approx(1.0 + DEFAULT_EPSILON)
+
+    def test_unevaluated_leaves_contribute_nothing(self):
+        policy = ConstantPolicy()
+        rt = Runtime(policy=policy)
+        rt.begin()
+        outcome = rt.cmp(0, "<", 0.0, 1.0, 0) or (
+            rt.cmp(0, ">", 2.0, 1.0, 1) and rt.cmp(0, ">", 0.5, 1.0, 2)
+        )
+        assert rt.resolve(0, (0, 1, 2, -4, -5), outcome) is True
+        _, d_true, d_false, _, _ = policy.calls[0]
+        assert d_true == 0.0
+        assert d_false == pytest.approx(1.0 + DEFAULT_EPSILON)
+
+    def test_all_leaves_unusable_keeps_r(self):
+        policy = ConstantPolicy()
+        rt = Runtime(policy=policy)
+        rt.begin()
+        rt.resolve(0, (0, 1, -4), rt.tleaf(0, 0, "a") and rt.tleaf(0, 1, [1]))
+        assert policy.calls == []
+        assert rt.r == 1.0
+        assert BranchId(0, True) in rt.record.covered
+
+    def test_malformed_program_rejected(self):
+        rt = Runtime()
+        rt.begin()
+        rt.cmp(0, "<", 1.0, 2.0, 0)
+        with pytest.raises(ValueError, match="malformed composition program"):
+            rt.resolve(0, (0, 0, -4, -4), True)
+
+    def test_fast_runtime_loop_iterations_do_not_leak_leaves(self):
+        """A short-circuited later iteration must not reuse iteration-1 leaves."""
+        for runtime in (
+            Runtime(policy=ConstantPolicy()),
+            FastRuntime(4),
+        ):
+            runtime.begin()
+            # Iteration 1: both leaves evaluated (leaf 1 distance stashed).
+            runtime.resolve(
+                0, (0, 1, -5), runtime.cmp(0, ">", 2.0, 1.0, 0) or runtime.cmp(0, ">", 0.0, 1.0, 1)
+            )
+            # Iteration 2: leaf 0 true, leaf 1 short-circuited away.
+            runtime.resolve(0, (0, 1, -5), runtime.cmp(0, ">", 3.0, 1.0, 0) or True)
+        # Equivalence of the two runtimes on exactly this scenario:
+        saturated = frozenset({BranchId(0, False)})
+
+        def script(rt):
+            rt.resolve(0, (0, 1, -5), rt.cmp(0, ">", 0.0, 1.0, 0) or rt.cmp(0, ">", 0.5, 1.0, 1))
+            rt.resolve(0, (0, 1, -5), rt.cmp(0, ">", 3.0, 1.0, 0) or True)
+
+        assert _fast_r(saturated, script) == _reference_r(saturated, script)
+
+    def test_fast_runtime_stale_execution_leaves_invalidated(self):
+        """Leaves stashed in a crashed execution never leak into the next one."""
+        fast = FastRuntime(2)
+        fast.begin()
+        fast.cmp(0, ">", 5.0, 1.0, 0)  # execution "crashes" before resolve
+        fast.begin()
+        # Same conditional, no leaves evaluated this time: composing must see
+        # nothing usable and keep r (mask: only false branch saturated).
+        fast.saturated_mask = branch_mask({BranchId(0, False)})
+        fast.resolve(0, (0, 1, -5), False)
+        assert fast.r == 1.0
+
+
+class TestTleafPromotion:
+    def test_numeric_leaf_promotes_to_nonzero_distance(self):
+        policy = ConstantPolicy()
+        rt = Runtime(policy=policy)
+        rt.begin()
+        assert rt.tleaf(0, 0, 3.0) is True
+        rt.resolve(0, (0,), True)
+        _, d_true, d_false, _, _ = policy.calls[0]
+        assert d_true == 0.0
+        assert d_false > 0.0
+
+    def test_negated_leaf_swaps_outcome_and_distances(self):
+        policy = ConstantPolicy()
+        rt = Runtime(policy=policy)
+        rt.begin()
+        assert rt.tleaf(0, 0, 3.0, True) is False
+        rt.resolve(0, (0,), False)
+        _, d_true, d_false, _, _ = policy.calls[0]
+        assert d_true == pytest.approx(9.0)  # distance to ``3.0 == 0``
+        assert d_false == 0.0
+
+    def test_bool_leaf_uses_epsilon_distances(self):
+        policy = ConstantPolicy()
+        rt = Runtime(policy=policy)
+        rt.begin()
+        assert rt.tleaf(0, 0, False) is False
+        rt.resolve(0, (0,), False)
+        _, d_true, d_false, _, _ = policy.calls[0]
+        assert d_true == DEFAULT_EPSILON
+        assert d_false == 0.0
+
+    def test_huge_int_leaf_is_unusable(self):
+        rt = Runtime(policy=ConstantPolicy())
+        rt.begin()
+        assert rt.tleaf(0, 0, 10**400) is True
+        rt.resolve(0, (0,), True)
+        assert rt.policy.calls == []
 
 
 class TestExecutionRecord:
