@@ -28,3 +28,21 @@ def profile():
 @pytest.fixture(scope="session")
 def bench_report_dir(tmp_path_factory):
     return tmp_path_factory.mktemp("paper_artifacts")
+
+
+@pytest.fixture(scope="session")
+def run_store(tmp_path_factory):
+    """One shared run store for the whole bench session.
+
+    The table/figure benches declare overlapping (case, tool) jobs (Figure 5
+    replots Table 2's data; the headline bench reuses its CoverMe and Rand
+    runs), so sharing a store means each pair executes once per session.
+    Set ``REPRO_BENCH_STORE=/path`` to persist the store across sessions
+    (warm benches then measure render-from-store time).
+    """
+    from repro.store import RunStore
+
+    root = os.environ.get("REPRO_BENCH_STORE")
+    store = RunStore(root if root else tmp_path_factory.mktemp("runstore") / "store")
+    yield store
+    store.close()

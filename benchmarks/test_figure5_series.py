@@ -8,8 +8,12 @@ from repro.experiments import figure5, table2
 
 
 @pytest.mark.paper_artifact("figure5")
-def test_figure5_series(benchmark, profile, capsys):
-    rows = benchmark.pedantic(table2.run, args=(profile,), iterations=1, rounds=1)
+def test_figure5_series(benchmark, profile, capsys, run_store):
+    # Shares the session store with the Table 2 bench: whichever runs first
+    # executes the (case, tool) jobs, the other renders from the records.
+    rows = benchmark.pedantic(
+        table2.run, args=(profile,), kwargs={"store": run_store}, iterations=1, rounds=1
+    )
     series = figure5.series_from_rows(rows)
 
     with capsys.disabled():

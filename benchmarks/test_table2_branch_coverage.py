@@ -64,8 +64,10 @@ def _write_artifact(bench_report_dir, profile, rows, summary) -> None:
 
 
 @pytest.mark.paper_artifact("table2")
-def test_table2_coverme_vs_rand_vs_afl(benchmark, profile, capsys, bench_report_dir):
-    rows = benchmark.pedantic(table2.run, args=(profile,), iterations=1, rounds=1)
+def test_table2_coverme_vs_rand_vs_afl(benchmark, profile, capsys, bench_report_dir, run_store):
+    rows = benchmark.pedantic(
+        table2.run, args=(profile,), kwargs={"store": run_store}, iterations=1, rounds=1
+    )
     summary = table2.summarize(rows)
     _write_artifact(bench_report_dir, profile, rows, summary)
 

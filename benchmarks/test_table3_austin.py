@@ -9,8 +9,10 @@ from repro.experiments.runner import format_table
 
 
 @pytest.mark.paper_artifact("table3")
-def test_table3_coverme_vs_austin(benchmark, profile, capsys):
-    rows = benchmark.pedantic(table3.run, args=(profile,), iterations=1, rounds=1)
+def test_table3_coverme_vs_austin(benchmark, profile, capsys, run_store):
+    rows = benchmark.pedantic(
+        table3.run, args=(profile,), kwargs={"store": run_store}, iterations=1, rounds=1
+    )
     summary = table3.summarize(rows)
 
     with capsys.disabled():

@@ -8,8 +8,10 @@ from repro.experiments import table5
 
 
 @pytest.mark.paper_artifact("table5")
-def test_table5_line_coverage(benchmark, profile, capsys):
-    rows = benchmark.pedantic(table5.run, args=(profile,), iterations=1, rounds=1)
+def test_table5_line_coverage(benchmark, profile, capsys, run_store):
+    rows = benchmark.pedantic(
+        table5.run, args=(profile,), kwargs={"store": run_store}, iterations=1, rounds=1
+    )
     summary = table5.summarize(rows)
 
     with capsys.disabled():

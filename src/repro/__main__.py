@@ -1,0 +1,6 @@
+"""``python -m repro``: the unified experiment-pipeline command line."""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

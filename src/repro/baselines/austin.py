@@ -113,7 +113,15 @@ class AustinTester:
             if restart == 0:
                 point = np.zeros(program.arity)
             else:
-                point = rng.uniform(-1.0e3, 1.0e3, size=program.arity)
+                # Random restarts sample the signature's declared input
+                # domain -- the same box Rand draws from -- so per-case
+                # domains apply to the AVM search too.  On the benchmark
+                # suite (signature box +-1e6) this is deliberately wider
+                # than the +-1e3 this tool hardcoded before domains existed.
+                point = rng.uniform(
+                    np.asarray(program.signature.low, dtype=float),
+                    np.asarray(program.signature.high, dtype=float),
+                )
             budget_left = self.executions_per_target
             record = execute(tuple(point))
             budget_left -= 1

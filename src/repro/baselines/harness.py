@@ -27,6 +27,18 @@ class Budget:
     def start(self) -> "BudgetClock":
         return BudgetClock(self)
 
+    def fingerprint(self) -> str:
+        """Content fingerprint of the budget for run-store job keys.
+
+        Baseline budgets are *derived* (ten-times-CoverMe's-effort rule), so
+        the derived values are part of a baseline job's identity: a cached
+        run is only reusable if it was granted the same budget.
+        """
+        from repro.store.serialize import fingerprint_of
+
+        payload = {"max_executions": self.max_executions, "max_seconds": self.max_seconds}
+        return fingerprint_of(payload)[:16]
+
 
 @dataclass
 class BudgetClock:

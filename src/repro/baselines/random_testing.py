@@ -1,8 +1,11 @@
 """"Rand": pure random testing baseline (Sect. 6.1).
 
-Inputs are drawn uniformly from a bounded box.  Like the tool the paper
-implemented with a pseudo-random number generator, Rand has no feedback: it
-keeps every input that increased branch coverage and discards the rest.
+Inputs are drawn uniformly from a bounded box -- by default the program
+signature's declared input domain, so per-case domains (e.g. ``scalb``'s
+exponent band) apply to Rand exactly as they do to the box-aware start
+strategies.  Like the tool the paper implemented with a pseudo-random number
+generator, Rand has no feedback: it keeps every input that increased branch
+coverage and discards the rest.
 """
 
 from __future__ import annotations
@@ -19,10 +22,15 @@ from repro.instrument.program import InstrumentedProgram
 
 @dataclass
 class RandomTester:
-    """Uniform random input generation with coverage-based retention."""
+    """Uniform random input generation with coverage-based retention.
 
-    low: float = -1.0e6
-    high: float = 1.0e6
+    ``low``/``high`` override the sampling box uniformly across dimensions;
+    when ``None`` (the default) the box is the program signature's
+    per-dimension input domain.
+    """
+
+    low: Optional[float] = None
+    high: Optional[float] = None
     seed: Optional[int] = None
     name: str = "Rand"
 
@@ -30,9 +38,19 @@ class RandomTester:
         rng = np.random.default_rng(self.seed)
         clock = budget.start()
         coverage = BranchCoverage(program)
+        low = (
+            np.full(program.arity, float(self.low))
+            if self.low is not None
+            else np.asarray(program.signature.low, dtype=float)
+        )
+        high = (
+            np.full(program.arity, float(self.high))
+            if self.high is not None
+            else np.asarray(program.signature.high, dtype=float)
+        )
         kept: list[tuple[float, ...]] = []
         while not clock.exhausted():
-            args = tuple(float(v) for v in rng.uniform(self.low, self.high, size=program.arity))
+            args = tuple(float(v) for v in rng.uniform(low, high))
             new = coverage.run(args)
             clock.consume()
             if new:

@@ -104,6 +104,14 @@ class ToolRunSummary:
 
     Shared by CoverMe and the baseline tools so the experiment harnesses can
     tabulate them uniformly (Tables 2, 3 and 5).
+
+    Zero-denominator convention: a program with no branches (or a run that
+    measured no lines) is *vacuously* fully covered, so both percentage
+    properties return 100.0 when their denominator is zero -- the same
+    convention as :class:`CoverageReport` and
+    :attr:`CoverMeResult.branch_coverage`.  Callers that want "lines were
+    never measured" as a distinct state must test ``n_lines == 0``
+    themselves (as the Table 5 renderer does).
     """
 
     tool: str
@@ -125,5 +133,5 @@ class ToolRunSummary:
     @property
     def line_coverage_percent(self) -> float:
         if self.n_lines == 0:
-            return 0.0
+            return 100.0
         return 100.0 * self.covered_lines / self.n_lines

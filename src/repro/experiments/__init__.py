@@ -1,7 +1,8 @@
 """Experiment harnesses regenerating the paper's tables and figures.
 
-Every artifact of the evaluation section has a module here and a bench in
-``benchmarks/``:
+Every artifact of the evaluation section has a module here declaring an
+:class:`~repro.experiments.pipeline.ExperimentSpec` plus a renderer, and a
+bench in ``benchmarks/``:
 
 * Table 1  -- :mod:`repro.experiments.table1` (saturation scenario walkthrough)
 * Figure 2 -- :mod:`repro.experiments.figure2` (local vs global optimization)
@@ -11,10 +12,19 @@ Every artifact of the evaluation section has a module here and a bench in
 * Table 4  -- :mod:`repro.experiments.table4` (excluded functions)
 * Table 5  -- :mod:`repro.experiments.table5` (line coverage)
 
-Each module exposes a ``run(profile)`` function returning structured rows plus
-a ``main()`` entry point that prints the table, so e.g.
-``python -m repro.experiments.table2 --profile smoke`` regenerates the
-artifact from the command line.
+The layer is split in three:
+
+* :mod:`repro.experiments.runner` -- profiles, tool adapters, formatting;
+* :mod:`repro.experiments.pipeline` -- planning (specs expand into a
+  deduplicated (case, tool) job plan) and resumable execution against a
+  content-addressed :class:`~repro.store.RunStore`;
+* the per-artifact modules -- specs plus renderers (thin views over rows).
+
+The unified entry point is the ``repro`` CLI: ``python -m repro run table2
+--profile smoke --store .repro-store --resume`` (see :mod:`repro.cli`).
+Each module still exposes ``run(profile)`` returning structured rows, and
+its legacy ``python -m repro.experiments.tableN`` entry point delegates to
+the CLI with a deprecation warning.
 """
 
 from repro.experiments.runner import (

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.experiments.pipeline import ExperimentSpec, register_spec
 from repro.optimize.basinhopping import basinhopping
 from repro.optimize.local import get_local_minimizer
 
@@ -73,14 +74,33 @@ def run(seed: int = 0) -> list[Figure2Result]:
     return results
 
 
-def main() -> None:
-    print("Figure 2 reproduction: local vs global optimization")
-    for item in run():
-        print(
+def render_text(profile=None) -> str:
+    """Render the Figure 2 artifact (local vs global optimization runs)."""
+    seed = profile.seed if profile is not None else 0
+    lines = ["Figure 2 reproduction: local vs global optimization"]
+    for item in run(seed=seed):
+        lines.append(
             f"{item.objective:6s} {item.method:14s} start={item.start:6.1f} "
             f"-> x*={item.minimum_point:10.4f} f(x*)={item.minimum_value:.3g}"
         )
+    return "\n".join(lines)
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        name="figure2",
+        title="Figure 2: local vs global optimization",
+        script=render_text,
+    )
+)
+
+
+def main(argv=None) -> int:
+    """Deprecated entry point; delegates to ``python -m repro run figure2``."""
+    from repro.cli import deprecated_main
+
+    return deprecated_main("figure2", argv)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

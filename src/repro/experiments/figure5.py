@@ -3,15 +3,18 @@
 Figure 5 plots exactly the data of Table 2 -- branch coverage per benchmark
 for Rand, AFL and CoverMe.  This module renders the same series as aligned
 text bars so the figure can be regenerated without a plotting dependency, and
-returns the raw series for programmatic use.
+returns the raw series for programmatic use.  Because the spec declares the
+same (case, tool) jobs as Table 2, a combined ``repro run table2 figure5``
+executes each pair once and renders both artifacts from the shared records.
 """
 
 from __future__ import annotations
 
-import argparse
 from dataclasses import dataclass
+from typing import Optional
 
-from repro.experiments.runner import PROFILES, ComparisonRow, Profile
+from repro.experiments.pipeline import ExperimentSpec, register_spec
+from repro.experiments.runner import ComparisonRow, Profile
 from repro.experiments.table2 import TOOLS, run as run_table2
 
 
@@ -24,8 +27,8 @@ class Figure5Series:
     values: tuple[float, ...]
 
 
-def run(profile: Profile, cases=None) -> list[Figure5Series]:
-    rows = run_table2(profile, cases=cases)
+def run(profile: Profile, cases=None, store=None, resume: bool = True) -> list[Figure5Series]:
+    rows = run_table2(profile, cases=cases, store=store, resume=resume)
     return series_from_rows(rows)
 
 
@@ -54,13 +57,26 @@ def render_ascii(series: list[Figure5Series], width: int = 50) -> str:
     return "\n".join(lines)
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--profile", choices=sorted(PROFILES), default="smoke")
-    args = parser.parse_args()
-    profile = PROFILES[args.profile]
-    print(render_ascii(run(profile)))
+def render(rows: list[ComparisonRow], profile: Profile) -> str:
+    return render_ascii(series_from_rows(rows))
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        name="figure5",
+        title="Figure 5: per-benchmark branch-coverage bars",
+        tools=TOOLS,
+        render=render,
+    )
+)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Deprecated entry point; delegates to ``python -m repro run figure5``."""
+    from repro.cli import deprecated_main
+
+    return deprecated_main("figure5", argv)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -1,0 +1,593 @@
+"""Declarative, resumable orchestration of the paper's experiments.
+
+This module is the planning and execution layer between the per-table
+experiment modules and the tool/search machinery:
+
+* an :class:`ExperimentSpec` declares what one table/figure needs -- which
+  tools run over the benchmark suite (and whether line coverage is
+  measured), or a self-contained script for the non-suite artifacts
+  (Table 1, Figure 2, Table 4);
+* :func:`plan_jobs` expands a set of specs into a flat plan of (case, tool)
+  jobs, **deduplicated across specs** -- Table 2, Table 5 and Figure 5 all
+  need the same CoverMe/Rand/AFL runs, so one ``repro run table2 table5
+  figure5`` invocation executes each shared pair exactly once;
+* :func:`execute_plan` dispatches the plan through
+  :func:`repro.engine.pool.parallel_map`, loading completed jobs from a
+  :class:`~repro.store.RunStore` and checkpointing each newly finished job
+  immediately, so an interrupted run resumes by skipping completed work;
+* renderers (defined by the table modules) format the resulting
+  :class:`~repro.experiments.runner.ComparisonRow`\\ s as thin views over
+  the store.
+
+Job ordering inside a case is semantic, not cosmetic: CoverMe runs first so
+the baselines' budgets can be derived from its measured effort (the paper's
+"ten times the CoverMe time" rule).  The derived budget is fingerprinted
+into the baseline job's key, so a baseline record is reused only when the
+CoverMe effort it was calibrated against is unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.baselines.afl import AFLFuzzer
+from repro.baselines.austin import AustinTester
+from repro.baselines.harness import Budget, run_tool
+from repro.baselines.random_testing import RandomTester
+from repro.engine.pool import parallel_map
+from repro.experiments.runner import (
+    ComparisonRow,
+    CoverMeTool,
+    Profile,
+    coverme_tool,
+    instrument_case,
+)
+from repro.fdlibm.suite import BENCHMARKS, BenchmarkCase
+from repro.store import JobKey, RunStore, canonical_json, fingerprint_of, summary_from_dict, summary_to_dict
+
+# ---------------------------------------------------------------------------
+# Tool factories (module-level so process workers can pickle them)
+# ---------------------------------------------------------------------------
+
+
+def make_coverme(profile: Profile) -> CoverMeTool:
+    return coverme_tool(profile)
+
+
+def make_rand(profile: Profile) -> RandomTester:
+    return RandomTester(seed=profile.seed + 1)
+
+
+def make_afl(profile: Profile) -> AFLFuzzer:
+    return AFLFuzzer(seed=profile.seed + 2)
+
+
+def make_austin(profile: Profile) -> AustinTester:
+    return AustinTester(seed=profile.seed + 3)
+
+
+#: Named factories used by the specs (and reusable by custom callers).
+TOOL_FACTORIES: dict[str, Callable[[Profile], object]] = {
+    "CoverMe": make_coverme,
+    "Rand": make_rand,
+    "AFL": make_afl,
+    "Austin": make_austin,
+}
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+
+#: Profile fields that provably do not change per-job results: ``name`` is a
+#: label (two profiles with the same values are the same work), ``max_cases``
+#: selects *which* jobs run, and the engine guarantees seeded results are
+#: identical for every worker count.
+_PROFILE_FP_EXCLUDE = frozenset({"name", "max_cases", "n_workers"})
+
+#: Tool state excluded from fingerprints: mutable run-to-run scratch, and
+#: CoverMe knobs the engine guarantees are result-neutral.
+_TOOL_FP_EXCLUDE = frozenset({"last_evaluations", "n_workers", "worker_mode", "verbose"})
+
+
+def profile_fingerprint(profile: Profile) -> str:
+    payload = {
+        k: v for k, v in dataclasses.asdict(profile).items() if k not in _PROFILE_FP_EXCLUDE
+    }
+    return fingerprint_of(payload)[:16]
+
+
+def _strip_excluded(obj):
+    if isinstance(obj, dict):
+        return {k: _strip_excluded(v) for k, v in obj.items() if k not in _TOOL_FP_EXCLUDE}
+    return obj
+
+
+def tool_fingerprint(tool) -> str:
+    """Content fingerprint of a tool's configuration (not its identity)."""
+    if dataclasses.is_dataclass(tool):
+        state = _strip_excluded(dataclasses.asdict(tool))
+    elif type(tool).__repr__ is not object.__repr__:
+        # Hand-rolled tools with a real repr: their repr is their config.
+        state = {"repr": repr(tool)}
+    else:
+        # The default object repr embeds a memory address: fingerprinting it
+        # would give every run a fresh key and silently disable resume.
+        raise ValueError(
+            f"cannot fingerprint tool {type(tool).__name__}: make it a dataclass "
+            "or give it a __repr__ that captures its configuration"
+        )
+    state["__type__"] = type(tool).__name__
+    return fingerprint_of(state)[:16]
+
+
+def source_hash(program) -> str:
+    """SHA-256 of the instrumented source (entry + extras, post-AST-pass)."""
+    return hashlib.sha256(program.source.encode("utf-8")).hexdigest()[:16]
+
+
+@functools.lru_cache(maxsize=None)
+def _instrument_for_lookup(case: BenchmarkCase):
+    """Instrument a case purely for store lookups (render mode).
+
+    Nothing executes these programs -- only ``n_branches`` and the source
+    hash are read -- so sharing one per case across the per-spec render
+    loop is safe and avoids re-running the AST pass once per spec.
+    """
+    return instrument_case(case)
+
+
+def _domain_tag(case: BenchmarkCase) -> str:
+    low, high = case.domain()
+    return canonical_json([list(low), list(high)])
+
+
+def coverme_first(tool_names: Iterable[str]) -> list[str]:
+    """Order tool names with ``CoverMe`` first.
+
+    This ordering is semantic: the baselines' budgets derive from CoverMe's
+    measured effort (the paper's "ten times the CoverMe time" rule), so
+    within a case CoverMe must run before them.  Every planner --
+    :func:`plan_jobs`, :func:`repro.experiments.runner.run_case`,
+    :func:`repro.experiments.runner.compare_tools` -- goes through this one
+    helper so the rule cannot drift between entry points.
+    """
+    return sorted(tool_names, key=lambda name: name != "CoverMe")
+
+
+def tool_items_for(
+    tool_factories: dict[str, Callable[[Profile], object]], measure_lines: bool
+) -> list[tuple[str, Callable[[Profile], object], bool]]:
+    """The ``(name, factory, measure_lines)`` job list for one case, in
+    :func:`coverme_first` order (the shape :func:`execute_case` consumes)."""
+    return [(name, tool_factories[name], measure_lines) for name in coverme_first(tool_factories)]
+
+
+# ---------------------------------------------------------------------------
+# Specs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one table/figure of the evaluation.
+
+    Suite specs (``tools`` non-empty) expand into (case, tool) jobs over the
+    benchmark suite and render via ``render(rows, profile)``.  Script specs
+    (``script`` set) are self-contained artifacts with no per-case jobs
+    (Table 1's walkthrough, Figure 2's optimizer demo, Table 4's registry).
+    """
+
+    name: str
+    title: str
+    tools: tuple[str, ...] = ()
+    measure_lines: bool = False
+    render: Optional[Callable[[list[ComparisonRow], Profile], str]] = field(
+        default=None, compare=False
+    )
+    script: Optional[Callable[[Profile], str]] = field(default=None, compare=False)
+
+    @property
+    def is_suite(self) -> bool:
+        return bool(self.tools)
+
+
+_SPECS: dict[str, ExperimentSpec] = {}
+_BUILTINS_LOADED = False
+
+
+def register_spec(spec: ExperimentSpec) -> ExperimentSpec:
+    """Register a spec under its name (table modules call this at import)."""
+    _SPECS[spec.name] = spec
+    return spec
+
+
+def _load_builtin_specs() -> None:
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    # Importing the experiment modules registers their specs.
+    from repro.experiments import figure2, figure5, table1, table2, table3, table4, table5  # noqa: F401
+
+    _BUILTINS_LOADED = True
+
+
+def available_specs() -> tuple[str, ...]:
+    _load_builtin_specs()
+    return tuple(sorted(_SPECS))
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    _load_builtin_specs()
+    try:
+        return _SPECS[name]
+    except KeyError:
+        known = ", ".join(sorted(_SPECS))
+        raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
+
+
+# ---------------------------------------------------------------------------
+# Planning
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Job:
+    """One (case, tool) unit of work."""
+
+    case: BenchmarkCase = field(repr=False)
+    tool: str = ""
+    measure_lines: bool = False
+
+    @property
+    def id(self) -> str:
+        return f"{self.case.key}/{self.tool}"
+
+
+@dataclass
+class JobPlan:
+    """A deduplicated, ordered set of jobs grouped by case."""
+
+    profile: Profile
+    cases: list[BenchmarkCase]
+    jobs_by_case: dict[str, list[Job]]
+
+    @property
+    def n_jobs(self) -> int:
+        return sum(len(jobs) for jobs in self.jobs_by_case.values())
+
+    def jobs(self) -> Iterable[Job]:
+        for case in self.cases:
+            yield from self.jobs_by_case[case.key]
+
+
+def select_cases(profile: Profile, cases: Optional[Iterable[BenchmarkCase]] = None) -> list[BenchmarkCase]:
+    selected = list(cases) if cases is not None else list(BENCHMARKS)
+    if profile.max_cases is not None:
+        selected = selected[: profile.max_cases]
+    return selected
+
+
+def plan_jobs(
+    specs: Sequence[ExperimentSpec],
+    profile: Profile,
+    cases: Optional[Iterable[BenchmarkCase]] = None,
+) -> JobPlan:
+    """Expand suite specs into a flat job plan, deduplicated across specs.
+
+    Two specs needing the same (case, tool) pair contribute **one** job; if
+    either needs line coverage the merged job measures lines (a
+    line-measuring summary is a strict superset of a branch-only one).
+    CoverMe jobs are ordered first within each case because the baselines'
+    budgets derive from CoverMe's measured effort.
+    """
+    selected = select_cases(profile, cases)
+    # The merged tool set is plan-wide (it depends on the specs, not the case).
+    merged: dict[str, bool] = {}
+    for spec in specs:
+        if not spec.is_suite:
+            continue
+        for tool in spec.tools:
+            merged[tool] = merged.get(tool, False) or spec.measure_lines
+    ordered = coverme_first(merged)
+    jobs_by_case = {
+        case.key: [Job(case=case, tool=tool, measure_lines=merged[tool]) for tool in ordered]
+        for case in selected
+    }
+    return JobPlan(profile=profile, cases=selected, jobs_by_case=jobs_by_case)
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PipelineStats:
+    """Execution counters: how much work ran versus came from the store."""
+
+    total: int = 0
+    executed: int = 0
+    loaded: int = 0
+    missing: int = 0
+
+    def merge(self, other: "PipelineStats") -> None:
+        self.total += other.total
+        self.executed += other.executed
+        self.loaded += other.loaded
+        self.missing += other.missing
+
+    def describe(self) -> str:
+        return (
+            f"{self.total} jobs: {self.executed} executed, {self.loaded} loaded from store"
+            + (f", {self.missing} missing" if self.missing else "")
+        )
+
+
+@dataclass
+class CaseOutcome:
+    """Result of executing (or resolving) one case's job list."""
+
+    row: ComparisonRow
+    stats: PipelineStats
+    missing_jobs: list[str] = field(default_factory=list)
+
+
+def resolve_store_dispatch(
+    worker_mode: str, n_workers: int, store: Optional[RunStore]
+) -> Optional[RunStore]:
+    """Validate a dispatch mode against a store; returns the store to share.
+
+    Persistent stores require ``serial`` or ``thread`` dispatch: process
+    workers cannot share the store's append handle, and silently dropping
+    their checkpoints would break resume.  Ephemeral runs may use
+    ``process``; each worker then uses its own in-memory store (``None`` is
+    returned so the unpicklable shared instance never crosses the process
+    boundary).
+    """
+    if worker_mode not in ("serial", "thread", "process"):
+        raise ValueError(f"unknown worker mode {worker_mode!r}; known: serial, thread, process")
+    if worker_mode == "process" and n_workers > 1:
+        if store is not None and store.persistent:
+            raise ValueError(
+                "process-mode dispatch cannot checkpoint into a persistent store; "
+                "use worker_mode='thread' (or 'serial') for store-backed runs"
+            )
+        return None
+    return store
+
+
+def _baseline_budget(profile: Profile, coverme_effort: int) -> Budget:
+    return Budget(
+        max_executions=max(
+            profile.baseline_min_executions,
+            profile.baseline_execution_factor * coverme_effort,
+        ),
+        max_seconds=(
+            profile.coverme_time_budget * profile.baseline_execution_factor
+            if profile.coverme_time_budget is not None
+            else None
+        ),
+    )
+
+
+def execute_case(
+    item: tuple[BenchmarkCase, list[tuple[str, Callable[[Profile], object], bool]]],
+    profile: Profile,
+    store: Optional[RunStore],
+    resume: bool = True,
+    execute: bool = True,
+) -> CaseOutcome:
+    """Run (or resolve from the store) every job of one benchmark case.
+
+    ``item`` is ``(case, [(tool_name, factory, measure_lines), ...])`` with
+    CoverMe (if present) first.  Completed jobs found in the store are
+    loaded, everything else is executed and checkpointed via
+    :meth:`RunStore.put` the moment it finishes.  With ``execute=False``
+    nothing runs; absent jobs are reported in ``missing_jobs`` (the
+    ``repro render`` path).
+    """
+    case, tool_items = item
+    if store is None:
+        store = RunStore(None)
+    program = instrument_case(case) if execute else _instrument_for_lookup(case)
+    src_hash = source_hash(program)
+    domain = _domain_tag(case)
+    prof_fp = profile_fingerprint(profile)
+    stats = PipelineStats()
+    missing: list[str] = []
+    row = ComparisonRow(case=case, n_branches=program.n_branches)
+    coverme_effort = profile.baseline_min_executions
+
+    for tool_name, factory, measure_lines in tool_items:
+        stats.total += 1
+        tool = factory(profile)
+        if tool_name == "CoverMe":
+            budget = Budget(max_seconds=profile.coverme_time_budget)
+        else:
+            budget = _baseline_budget(profile, coverme_effort)
+        key = JobKey(
+            case_key=case.key,
+            tool=tool_name,
+            source_hash=src_hash,
+            tool_fingerprint=tool_fingerprint(tool),
+            profile_fingerprint=prof_fp,
+            budget_fingerprint=budget.fingerprint(),
+            seed=profile.seed,
+            measure_lines=measure_lines,
+            domain=domain,
+            profile_name=profile.name,
+        )
+        payload = store.get_satisfying(key) if resume else None
+        if payload is not None:
+            summary = summary_from_dict(payload["summary"])
+            evaluations = payload.get("tool_evaluations")
+            stats.loaded += 1
+        elif not execute:
+            stats.missing += 1
+            missing.append(key.case_key + "/" + key.tool)
+            continue
+        else:
+            summary = run_tool(
+                tool, program, budget, original=case.entry if measure_lines else None
+            )
+            evaluations = getattr(tool, "last_evaluations", None)
+            store.put(key, {"summary": summary_to_dict(summary), "tool_evaluations": evaluations})
+            stats.executed += 1
+        if tool_name == "CoverMe":
+            coverme_effort = max(evaluations or 0, profile.baseline_min_executions)
+        row.results[tool_name] = summary
+    return CaseOutcome(row=row, stats=stats, missing_jobs=missing)
+
+
+def execute_plan(
+    plan: JobPlan,
+    store: Optional[RunStore] = None,
+    tool_factories: Optional[dict[str, Callable[[Profile], object]]] = None,
+    resume: bool = True,
+    execute: bool = True,
+    n_workers: int = 1,
+    worker_mode: str = "thread",
+) -> tuple[dict[str, ComparisonRow], PipelineStats, list[str]]:
+    """Execute a job plan, one case per worker-pool task.
+
+    Returns ``(rows_by_case_key, stats, missing_jobs)``.  Cases are
+    dispatched through :func:`parallel_map`; within a case jobs run in plan
+    order (CoverMe first) and are checkpointed to the store individually, so
+    killing the run loses at most the jobs in flight.
+
+    Persistent stores require ``serial`` or ``thread`` dispatch: process
+    workers cannot share the store's append handle, and silently dropping
+    their checkpoints would break resume.  (Ephemeral runs may use
+    ``process``; their per-job records are discarded by design.)
+    """
+    factories = tool_factories if tool_factories is not None else TOOL_FACTORIES
+    shared_store = resolve_store_dispatch(worker_mode, n_workers, store)
+    items = []
+    for case in plan.cases:
+        tool_items = [
+            (job.tool, factories[job.tool], job.measure_lines)
+            for job in plan.jobs_by_case[case.key]
+        ]
+        items.append((case, tool_items))
+    outcomes = parallel_map(
+        functools.partial(
+            execute_case,
+            profile=plan.profile,
+            store=shared_store,
+            resume=resume,
+            execute=execute,
+        ),
+        items,
+        n_workers=n_workers,
+        mode=worker_mode,
+    )
+    stats = PipelineStats()
+    missing: list[str] = []
+    rows: dict[str, ComparisonRow] = {}
+    for case, outcome in zip(plan.cases, outcomes):
+        stats.merge(outcome.stats)
+        missing.extend(outcome.missing_jobs)
+        rows[case.key] = outcome.row
+    return rows, stats, missing
+
+
+# ---------------------------------------------------------------------------
+# Spec-level driver (what the CLI calls)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunReport:
+    """Everything one ``repro run``/``repro render`` invocation produced."""
+
+    profile: Profile
+    rows_by_spec: dict[str, list[ComparisonRow]] = field(default_factory=dict)
+    rendered: dict[str, str] = field(default_factory=dict)
+    stats: PipelineStats = field(default_factory=PipelineStats)
+    missing_jobs: list[str] = field(default_factory=list)
+
+
+def run_specs(
+    specs: Sequence[ExperimentSpec],
+    profile: Profile,
+    store: Optional[RunStore] = None,
+    cases: Optional[Iterable[BenchmarkCase]] = None,
+    resume: bool = True,
+    execute: bool = True,
+    n_workers: int = 1,
+    worker_mode: str = "thread",
+) -> RunReport:
+    """Plan, execute and render a set of experiment specs as one batch.
+
+    Suite specs share one deduplicated job plan; script specs run their
+    self-contained artifact.  With ``execute=False`` (the ``repro render``
+    path) nothing is executed: suite rows are resolved from the store only,
+    absent jobs are listed in ``missing_jobs`` instead of being run, and
+    script specs (which have no stored records) are reported as missing.
+    """
+    report = RunReport(profile=profile)
+    suite_specs = [spec for spec in specs if spec.is_suite]
+    if suite_specs and execute:
+        plan = plan_jobs(suite_specs, profile, cases=cases)
+        rows_by_case, stats, missing = execute_plan(
+            plan, store=store, resume=resume, execute=True,
+            n_workers=n_workers, worker_mode=worker_mode,
+        )
+        report.stats = stats
+        report.missing_jobs = missing
+        for spec in suite_specs:
+            rows = [
+                ComparisonRow(
+                    case=rows_by_case[case.key].case,
+                    n_branches=rows_by_case[case.key].n_branches,
+                    results={
+                        tool: rows_by_case[case.key].results[tool]
+                        for tool in spec.tools
+                        if tool in rows_by_case[case.key].results
+                    },
+                )
+                for case in plan.cases
+            ]
+            report.rows_by_spec[spec.name] = rows
+            if spec.render is not None:
+                report.rendered[spec.name] = spec.render(rows, profile)
+    elif suite_specs:
+        # Render mode resolves each spec against its *own* plan: the merged
+        # plan's line-measuring keys would make a branch-only store miss for
+        # every spec, and one spec's absent jobs must not suppress a sibling
+        # whose records all resolved.  Lookups are cheap, so losing the
+        # cross-spec dedup costs nothing here.
+        for spec in suite_specs:
+            plan = plan_jobs([spec], profile, cases=cases)
+            rows_by_case, stats, missing = execute_plan(
+                plan, store=store, resume=resume, execute=False,
+                n_workers=n_workers, worker_mode=worker_mode,
+            )
+            report.stats.merge(stats)
+            report.missing_jobs.extend(
+                job for job in missing if job not in report.missing_jobs
+            )
+            rows = [rows_by_case[case.key] for case in plan.cases]
+            report.rows_by_spec[spec.name] = rows
+            if spec.render is not None and not missing:
+                report.rendered[spec.name] = spec.render(rows, profile)
+    for spec in specs:
+        if spec.is_suite:
+            continue
+        if spec.script is None:
+            raise ValueError(f"spec {spec.name!r} declares neither tools nor a script")
+        if not execute:
+            # Script specs have no stored records to render from; honoring
+            # render's no-execution contract means reporting them as missing
+            # rather than silently running their (possibly expensive) script.
+            report.stats.total += 1
+            report.stats.missing += 1
+            report.missing_jobs.append(f"{spec.name} (script spec; requires `repro run`)")
+            continue
+        report.rendered[spec.name] = spec.script(profile)
+    return report

@@ -1,18 +1,25 @@
-"""Shared experiment infrastructure: profiles, tool adapters, table formatting."""
+"""Shared experiment infrastructure: profiles, tool adapters, table formatting.
+
+This module is the *configuration and rendering* layer of the experiments:
+profiles, the CoverMe tool adapter, row/table formatting.  Planning and
+execution live in :mod:`repro.experiments.pipeline`; the legacy
+:func:`run_case`/:func:`compare_tools` entry points remain as thin wrappers
+that execute through the pipeline (against an ephemeral store unless one is
+passed), so every experiment -- old-style or CLI-driven -- goes through the
+same resumable execution path.
+"""
 
 from __future__ import annotations
 
 import dataclasses
-import functools
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
-from repro.baselines.harness import Budget, run_tool
+from repro.baselines.harness import Budget
 from repro.core.config import CoverMeConfig
 from repro.core.coverme import CoverMe
 from repro.core.report import ToolRunSummary
-from repro.engine.pool import parallel_map
-from repro.fdlibm.suite import BENCHMARKS, BenchmarkCase
+from repro.fdlibm.suite import BenchmarkCase
 from repro.instrument.program import InstrumentedProgram, instrument
 from repro.instrument.signature import ProgramSignature
 
@@ -121,14 +128,13 @@ def instrument_case(case: BenchmarkCase) -> InstrumentedProgram:
 
     The case's ``extras`` (helper callees such as ``ieee754_sqrt`` under
     ``pow``) are instrumented into the same program with offset labels, so
-    branch totals follow the paper's Gcov accounting of Table 2.
+    branch totals follow the paper's Gcov accounting of Table 2.  The
+    sampling box comes from the case's declared input domain
+    (:meth:`BenchmarkCase.domain`), which defaults to the historical
+    ``+-1e6`` signature box.
     """
-    signature = ProgramSignature(
-        name=case.function,
-        arity=case.arity,
-        low=tuple([-1.0e6] * case.arity),
-        high=tuple([1.0e6] * case.arity),
-    )
+    low, high = case.domain()
+    signature = ProgramSignature(name=case.function, arity=case.arity, low=low, high=high)
     return instrument(case.entry, extra_functions=case.extras, signature=signature)
 
 
@@ -137,38 +143,21 @@ def run_case(
     tool_factories: dict[str, Callable[[Profile], object]],
     profile: Profile,
     measure_lines: bool = False,
+    store=None,
+    resume: bool = True,
 ) -> ComparisonRow:
-    """Run every tool on one benchmark case.
+    """Run every tool on one benchmark case (one pipeline job per tool).
 
     ``CoverMe`` (when present) runs first so the baselines can be given a
     budget proportional to its effort, mirroring the paper's "ten times the
-    CoverMe time" rule with an execution-count analogue.
+    CoverMe time" rule with an execution-count analogue.  With a persistent
+    ``store``, completed jobs are loaded instead of re-executed.
     """
-    program = instrument_case(case)
-    row = ComparisonRow(case=case, n_branches=program.n_branches)
-    coverme_effort = profile.baseline_min_executions
-    ordered = sorted(tool_factories.items(), key=lambda item: item[0] != "CoverMe")
-    for tool_name, factory in ordered:
-        tool = factory(profile)
-        if tool_name == "CoverMe":
-            budget = Budget(max_seconds=profile.coverme_time_budget)
-        else:
-            budget = Budget(
-                max_executions=max(
-                    profile.baseline_min_executions,
-                    profile.baseline_execution_factor * coverme_effort,
-                ),
-                max_seconds=(
-                    profile.coverme_time_budget * profile.baseline_execution_factor
-                    if profile.coverme_time_budget is not None
-                    else None
-                ),
-            )
-        summary = run_tool(tool, program, budget, original=case.entry if measure_lines else None)
-        if tool_name == "CoverMe" and isinstance(tool, CoverMeTool):
-            coverme_effort = max(tool.last_evaluations, profile.baseline_min_executions)
-        row.results[tool_name] = summary
-    return row
+    from repro.experiments.pipeline import execute_case, tool_items_for
+
+    tool_items = tool_items_for(tool_factories, measure_lines)
+    outcome = execute_case((case, tool_items), profile, store=store, resume=resume)
+    return outcome.row
 
 
 def compare_tools(
@@ -178,6 +167,8 @@ def compare_tools(
     measure_lines: bool = False,
     n_workers: int = 1,
     worker_mode: str = "thread",
+    store=None,
+    resume: bool = True,
 ) -> list[ComparisonRow]:
     """Run every tool on every benchmark case and collect per-row results.
 
@@ -190,21 +181,36 @@ def compare_tools(
     the GIL; for real wall-clock speedup pass ``worker_mode="process"``,
     which requires picklable ``tool_factories`` (module-level functions, not
     lambdas).
+
+    Passing a :class:`~repro.store.RunStore` makes the run resumable:
+    completed (case, tool) jobs are loaded from the store and new ones are
+    checkpointed as they finish (persistent stores require serial/thread
+    dispatch).
     """
-    selected = list(cases) if cases is not None else list(BENCHMARKS)
-    if profile.max_cases is not None:
-        selected = selected[: profile.max_cases]
-    return parallel_map(
+    import functools
+
+    from repro.engine.pool import parallel_map
+    from repro.experiments.pipeline import resolve_store_dispatch, select_cases, tool_items_for
+
+    store = resolve_store_dispatch(worker_mode, n_workers, store)
+    selected = select_cases(profile, cases)
+    tool_items = tool_items_for(tool_factories, measure_lines)
+    outcomes = parallel_map(
         functools.partial(
-            run_case,
-            tool_factories=tool_factories,
-            profile=profile,
-            measure_lines=measure_lines,
+            _case_task, tool_items=tool_items, profile=profile, store=store, resume=resume
         ),
         selected,
         n_workers=n_workers,
         mode=worker_mode,
     )
+    return [outcome.row for outcome in outcomes]
+
+
+def _case_task(case, tool_items, profile, store, resume):
+    """Module-level pipeline task (picklable for process-mode dispatch)."""
+    from repro.experiments.pipeline import execute_case
+
+    return execute_case((case, tool_items), profile, store=store, resume=resume)
 
 
 def mean(values: Sequence[float]) -> float:

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.core.config import CoverMeConfig
 from repro.core.coverme import CoverMe
+from repro.experiments.pipeline import ExperimentSpec, register_spec
 from repro.core.representing import RepresentingFunction
 from repro.core.saturation import SaturationTracker
 from repro.instrument.program import instrument
@@ -86,16 +87,38 @@ def run(n_start: int = 40, seed: int = 0) -> list[ScenarioStep]:
     return steps
 
 
-def main() -> None:
-    steps = run()
-    print("Table 1 reproduction: saturation scenario for the example program FOO")
-    print(f"{'#':>3s} {'x*':>12s} {'FOO_R(x*)':>12s}  saturated branches")
+def render_text(profile=None) -> str:
+    """Render the Table 1 artifact (the saturation scenario walkthrough)."""
+    n_start = profile.n_start if profile is not None else 40
+    seed = profile.seed if profile is not None else 0
+    steps = run(n_start=n_start, seed=seed)
+    lines = [
+        "Table 1 reproduction: saturation scenario for the example program FOO",
+        f"{'#':>3s} {'x*':>12s} {'FOO_R(x*)':>12s}  saturated branches",
+    ]
     for step in steps:
-        print(
+        lines.append(
             f"{step.round:>3d} {step.minimum_point:>12.4g} {step.minimum_value:>12.4g}  "
             f"{', '.join(step.saturated) or '(none)'}"
         )
+    return "\n".join(lines)
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        name="table1",
+        title="Table 1: saturation scenario walkthrough",
+        script=render_text,
+    )
+)
+
+
+def main(argv=None) -> int:
+    """Deprecated entry point; delegates to ``python -m repro run table1``."""
+    from repro.cli import deprecated_main
+
+    return deprecated_main("table1", argv)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -2,16 +2,17 @@
 
 from __future__ import annotations
 
-import argparse
+from typing import Optional
 
-from repro.baselines.afl import AFLFuzzer
-from repro.baselines.random_testing import RandomTester
+from repro.experiments.pipeline import (
+    TOOL_FACTORIES,
+    ExperimentSpec,
+    register_spec,
+)
 from repro.experiments.runner import (
-    PROFILES,
     ComparisonRow,
     Profile,
     compare_tools,
-    coverme_tool,
     format_table,
     mean,
 )
@@ -20,16 +21,35 @@ TOOLS = ("Rand", "AFL", "CoverMe")
 
 
 def tool_factories(seed: int = 0):
-    return {
-        "CoverMe": lambda profile: coverme_tool(profile),
-        "Rand": lambda profile: RandomTester(seed=profile.seed + 1),
-        "AFL": lambda profile: AFLFuzzer(seed=profile.seed + 2),
-    }
+    """The Table 2 tool set (CoverMe plus the Rand/AFL baselines).
+
+    The factories derive their seeds from the profile at call time; the
+    ``seed`` parameter is kept for backwards compatibility.
+    """
+    return {name: TOOL_FACTORIES[name] for name in ("CoverMe", "Rand", "AFL")}
 
 
-def run(profile: Profile, cases=None, measure_lines: bool = False) -> list[ComparisonRow]:
-    """Run the Table 2 comparison under the given profile."""
-    return compare_tools(tool_factories(profile.seed), profile, cases=cases, measure_lines=measure_lines)
+def run(
+    profile: Profile,
+    cases=None,
+    measure_lines: bool = False,
+    store=None,
+    resume: bool = True,
+) -> list[ComparisonRow]:
+    """Run the Table 2 comparison under the given profile.
+
+    With a persistent ``store``, completed (case, tool) jobs are loaded
+    instead of re-executed; without one the run is ephemeral (the historical
+    behavior).
+    """
+    return compare_tools(
+        tool_factories(profile.seed),
+        profile,
+        cases=cases,
+        measure_lines=measure_lines,
+        store=store,
+        resume=resume,
+    )
 
 
 def summarize(rows: list[ComparisonRow]) -> dict[str, float]:
@@ -40,26 +60,38 @@ def summarize(rows: list[ComparisonRow]) -> dict[str, float]:
     return summary
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--profile", choices=sorted(PROFILES), default="smoke")
-    args = parser.parse_args()
-    profile = PROFILES[args.profile]
-    rows = run(profile)
-    print(
-        format_table(
-            rows,
-            TOOLS,
-            paper_column=lambda case: case.paper.coverme_branch,
-            title=f"Table 2 reproduction (profile={profile.name}); paper column = CoverMe branch %",
-        )
-    )
+def render(rows: list[ComparisonRow], profile: Profile) -> str:
+    """Render the Table 2 artifact (table plus the headline means line)."""
     summary = summarize(rows)
-    print(
-        f"\nMeans: Rand {summary['Rand']:.1f}%  AFL {summary['AFL']:.1f}%  "
+    table = format_table(
+        rows,
+        TOOLS,
+        paper_column=lambda case: case.paper.coverme_branch,
+        title=f"Table 2 reproduction (profile={profile.name}); paper column = CoverMe branch %",
+    )
+    return (
+        f"{table}\n\n"
+        f"Means: Rand {summary['Rand']:.1f}%  AFL {summary['AFL']:.1f}%  "
         f"CoverMe {summary['CoverMe']:.1f}%  (paper: 38.0 / 72.9 / 90.8)"
     )
 
 
+SPEC = register_spec(
+    ExperimentSpec(
+        name="table2",
+        title="Table 2: branch coverage, CoverMe vs Rand vs AFL",
+        tools=TOOLS,
+        render=render,
+    )
+)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Deprecated entry point; delegates to ``python -m repro run table2``."""
+    from repro.cli import deprecated_main
+
+    return deprecated_main("table2", argv)
+
+
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -2,15 +2,17 @@
 
 from __future__ import annotations
 
-import argparse
+from typing import Optional
 
-from repro.baselines.austin import AustinTester
+from repro.experiments.pipeline import (
+    TOOL_FACTORIES,
+    ExperimentSpec,
+    register_spec,
+)
 from repro.experiments.runner import (
-    PROFILES,
     ComparisonRow,
     Profile,
     compare_tools,
-    coverme_tool,
     format_table,
     mean,
 )
@@ -19,14 +21,14 @@ TOOLS = ("Austin", "CoverMe")
 
 
 def tool_factories(seed: int = 0):
-    return {
-        "CoverMe": lambda profile: coverme_tool(profile),
-        "Austin": lambda profile: AustinTester(seed=profile.seed + 3),
-    }
+    """The Table 3 tool set; ``seed`` is kept for backwards compatibility."""
+    return {name: TOOL_FACTORIES[name] for name in ("CoverMe", "Austin")}
 
 
-def run(profile: Profile, cases=None) -> list[ComparisonRow]:
-    return compare_tools(tool_factories(profile.seed), profile, cases=cases)
+def run(profile: Profile, cases=None, store=None, resume: bool = True) -> list[ComparisonRow]:
+    return compare_tools(
+        tool_factories(profile.seed), profile, cases=cases, store=store, resume=resume
+    )
 
 
 def summarize(rows: list[ComparisonRow]) -> dict[str, float]:
@@ -45,29 +47,40 @@ def summarize(rows: list[ComparisonRow]) -> dict[str, float]:
     return summary
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--profile", choices=sorted(PROFILES), default="smoke")
-    args = parser.parse_args()
-    profile = PROFILES[args.profile]
-    rows = run(profile)
-    print(
-        format_table(
-            rows,
-            TOOLS,
-            paper_column=lambda case: (
-                case.paper.austin_branch if case.paper.austin_branch is not None else float("nan")
-            ),
-            title=f"Table 3 reproduction (profile={profile.name}); paper column = Austin branch %",
-        )
-    )
+def render(rows: list[ComparisonRow], profile: Profile) -> str:
     summary = summarize(rows)
-    print(
-        f"\nMeans: Austin {summary['austin_branch']:.1f}% in {summary['austin_time']:.1f}s, "
+    table = format_table(
+        rows,
+        TOOLS,
+        paper_column=lambda case: (
+            case.paper.austin_branch if case.paper.austin_branch is not None else float("nan")
+        ),
+        title=f"Table 3 reproduction (profile={profile.name}); paper column = Austin branch %",
+    )
+    return (
+        f"{table}\n\n"
+        f"Means: Austin {summary['austin_branch']:.1f}% in {summary['austin_time']:.1f}s, "
         f"CoverMe {summary['coverme_branch']:.1f}% in {summary['coverme_time']:.1f}s "
         f"(paper: 42.8% / 6058.4s vs 90.8% / 6.9s)"
     )
 
 
+SPEC = register_spec(
+    ExperimentSpec(
+        name="table3",
+        title="Table 3: CoverMe vs Austin",
+        tools=TOOLS,
+        render=render,
+    )
+)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Deprecated entry point; delegates to ``python -m repro run table3``."""
+    from repro.cli import deprecated_main
+
+    return deprecated_main("table3", argv)
+
+
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.experiments.pipeline import ExperimentSpec, register_spec
 from repro.fdlibm.excluded import EXCLUDED, excluded_by_reason
 
 
@@ -10,16 +11,36 @@ def run():
     return excluded_by_reason()
 
 
-def main() -> None:
-    print("Table 4 reproduction: untested Fdlibm programs")
-    print(f"{'File':<18s}{'Function':<56s}{'Reason'}")
+def render_text(profile=None) -> str:
+    """Render the Table 4 artifact (exclusion registry; profile-independent)."""
+    lines = [
+        "Table 4 reproduction: untested Fdlibm programs",
+        f"{'File':<18s}{'Function':<56s}{'Reason'}",
+    ]
     for item in EXCLUDED:
-        print(f"{item.file:<18s}{item.function:<56s}{item.reason}")
+        lines.append(f"{item.file:<18s}{item.function:<56s}{item.reason}")
     groups = excluded_by_reason()
-    print("\nSummary:")
+    lines.append("\nSummary:")
     for reason, items in sorted(groups.items()):
-        print(f"  {reason}: {len(items)} functions")
+        lines.append(f"  {reason}: {len(items)} functions")
+    return "\n".join(lines)
+
+
+SPEC = register_spec(
+    ExperimentSpec(
+        name="table4",
+        title="Table 4: excluded Fdlibm functions",
+        script=render_text,
+    )
+)
+
+
+def main(argv=None) -> int:
+    """Deprecated entry point; delegates to ``python -m repro run table4``."""
+    from repro.cli import deprecated_main
+
+    return deprecated_main("table4", argv)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -70,6 +70,12 @@ class PaperReference:
     coverme_line: Optional[float] = None
 
 
+#: Half-width of the default per-dimension input box (the signature box the
+#: experiments have always used); cases that do not declare their own domain
+#: sample starting points and random inputs from ``[-BOUND, BOUND]``.
+DEFAULT_INPUT_BOUND = 1.0e6
+
+
 @dataclass(frozen=True)
 class BenchmarkCase:
     """One row of the paper's benchmark tables bound to its Python port.
@@ -78,6 +84,18 @@ class BenchmarkCase:
     numbers include ("Handling Function Calls", Sect. 5.3); they are handed
     to ``instrument(extra_functions=...)`` so their conditionals are labeled
     after the entry function's and counted in the same program.
+
+    ``low``/``high`` optionally declare a per-case input domain for
+    domain-sensitive entries (e.g. ``scalb``'s second argument is a binary
+    exponent, ``pow``'s second argument overflows everything outside a
+    narrow band); ``None`` keeps the historical
+    ``[-DEFAULT_INPUT_BOUND, DEFAULT_INPUT_BOUND]`` box.  The domain reaches
+    every sampler that reads the program signature's box: Rand's uniform
+    inputs, Austin's random restarts, and CoverMe's ``latin-hypercube`` /
+    ``signature-box`` start strategies (``random-normal`` starts and AFL's
+    byte-level mutation are box-free by construction).  It is also part of
+    the run store's job fingerprint: changing it invalidates cached runs of
+    the case.
     """
 
     file: str
@@ -86,13 +104,23 @@ class BenchmarkCase:
     arity: int
     paper: PaperReference
     extras: tuple[Callable, ...] = field(default=(), repr=False)
+    low: Optional[tuple[float, ...]] = None
+    high: Optional[tuple[float, ...]] = None
 
     @property
     def key(self) -> str:
         return f"{self.file}:{self.function}"
 
+    def domain(self) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        """Per-dimension ``(low, high)`` sampling bounds for this case."""
+        low = self.low if self.low is not None else tuple([-DEFAULT_INPUT_BOUND] * self.arity)
+        high = self.high if self.high is not None else tuple([DEFAULT_INPUT_BOUND] * self.arity)
+        if len(low) != self.arity or len(high) != self.arity:
+            raise ValueError(f"domain bounds of {self.key} must match arity {self.arity}")
+        return tuple(float(v) for v in low), tuple(float(v) for v in high)
 
-def _case(file, function, entry, arity, *paper_values, extras=()) -> BenchmarkCase:
+
+def _case(file, function, entry, arity, *paper_values, extras=(), low=None, high=None) -> BenchmarkCase:
     return BenchmarkCase(
         file=file,
         function=function,
@@ -100,6 +128,8 @@ def _case(file, function, entry, arity, *paper_values, extras=()) -> BenchmarkCa
         arity=arity,
         paper=PaperReference(*paper_values),
         extras=tuple(extras),
+        low=low,
+        high=high,
     )
 
 
@@ -122,10 +152,16 @@ BENCHMARKS: tuple[BenchmarkCase, ...] = (
     _case("e_j1.c", "ieee754_y1(double)", ieee754_y1, 1, 16, 56.3, 75.0, 100.0, 0.7, 56.3, 5701.7, 100.0),
     _case("e_log.c", "ieee754_log(double)", ieee754_log, 1, 22, 59.1, 72.7, 90.9, 3.4, 59.1, 5109.0, 100.0),
     _case("e_log10.c", "ieee754_log10(double)", ieee754_log10, 1, 8, 62.5, 75.0, 87.5, 1.1, 62.5, 1175.5, 100.0),
-    _case("e_pow.c", "ieee754_pow(double,double)", ieee754_pow, 2, 114, 15.8, 88.6, 81.6, 18.8, None, None, 92.7, extras=(ieee754_sqrt,)),
+    # pow's second argument is an exponent: |y| beyond ~1100 saturates every
+    # finite x to overflow/underflow, so the search box keeps y in the band
+    # where the algorithm's case ladder is actually exercised.
+    _case("e_pow.c", "ieee754_pow(double,double)", ieee754_pow, 2, 114, 15.8, 88.6, 81.6, 18.8, None, None, 92.7, extras=(ieee754_sqrt,), low=(-1.0e6, -1100.0), high=(1.0e6, 1100.0)),
     _case("e_rem_pio2.c", "ieee754_rem_pio2(double,double*)", ieee754_rem_pio2, 1, 30, 33.3, 86.7, 93.3, 1.1, None, None, 92.2),
     _case("e_remainder.c", "ieee754_remainder(double,double)", ieee754_remainder, 2, 22, 45.5, 50.0, 100.0, 2.2, 45.5, 4629.0, 100.0),
-    _case("e_scalb.c", "ieee754_scalb(double,double)", ieee754_scalb, 2, 14, 50.0, 42.9, 92.9, 8.5, 57.1, 1989.8, 100.0, extras=(fdlibm_rint, fdlibm_scalbn)),
+    # scalb's second argument fn is a binary exponent; the guard ladder's
+    # interesting thresholds (integrality, |fn| > 65000) all live within
+    # +-70000, so the search box stays in that band instead of +-1e6.
+    _case("e_scalb.c", "ieee754_scalb(double,double)", ieee754_scalb, 2, 14, 50.0, 42.9, 92.9, 8.5, 57.1, 1989.8, 100.0, extras=(fdlibm_rint, fdlibm_scalbn), low=(-1.0e6, -70000.0), high=(1.0e6, 70000.0)),
     _case("e_sinh.c", "ieee754_sinh(double)", ieee754_sinh, 1, 20, 35.0, 70.0, 95.0, 0.6, 35.0, 5534.8, 100.0),
     _case("e_sqrt.c", "ieee754_sqrt(double)", ieee754_sqrt, 1, 46, 69.6, 71.7, 82.6, 15.6, None, None, 94.1),
     _case("k_cos.c", "kernel_cos(double,double)", kernel_cos, 2, 8, 37.5, 87.5, 87.5, 15.4, 37.5, 1885.1, 100.0),
@@ -175,6 +211,14 @@ def get_case(name: str) -> BenchmarkCase:
     if name in _BY_FUNCTION:
         return _BY_FUNCTION[name]
     raise KeyError(f"unknown benchmark {name!r}")
+
+
+def case_by_key(key: str) -> BenchmarkCase:
+    """Strict lookup by ``"file:function"`` key (the run store's case id)."""
+    try:
+        return _BY_KEY[key]
+    except KeyError:
+        raise KeyError(f"unknown benchmark case key {key!r}") from None
 
 
 #: Mean values of the paper's headline comparison (last rows of Tables 2/3).

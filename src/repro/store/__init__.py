@@ -1,0 +1,37 @@
+"""Persistent, content-addressed storage for experiment runs.
+
+``repro.store`` is the persistence layer under the experiment pipeline: a
+:class:`~repro.store.runstore.RunStore` maps a content-addressed
+:class:`~repro.store.runstore.JobKey` -- (instrumented-source hash, tool,
+tool/config fingerprint, case key, profile fingerprint, seed, budget,
+domain) -- to the versioned record of one completed (case, tool) run.
+"""
+
+from repro.store.runstore import JobKey, RunStore
+from repro.store.serialize import (
+    SCHEMA_VERSION,
+    SchemaVersionError,
+    canonical_json,
+    comparison_row_from_dict,
+    comparison_row_to_dict,
+    coverme_result_from_dict,
+    coverme_result_to_dict,
+    fingerprint_of,
+    summary_from_dict,
+    summary_to_dict,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "JobKey",
+    "RunStore",
+    "SchemaVersionError",
+    "canonical_json",
+    "comparison_row_from_dict",
+    "comparison_row_to_dict",
+    "coverme_result_from_dict",
+    "coverme_result_to_dict",
+    "fingerprint_of",
+    "summary_from_dict",
+    "summary_to_dict",
+]

@@ -1,0 +1,169 @@
+"""Versioned dict serialization for experiment result records.
+
+Every record the :class:`~repro.store.runstore.RunStore` persists goes
+through this module: plain-data dictionaries with an explicit ``"schema"``
+version so a store written by one version of the code is either readable by
+another or rejected loudly (never silently misinterpreted).
+
+Three record types cover the experiment layer:
+
+* :class:`~repro.core.report.ToolRunSummary` -- one (case, tool) run.
+* :class:`~repro.core.report.CoverMeResult` -- the driver's result record,
+  persisted *without* its per-launch ``traces`` (they are debugging detail,
+  unbounded in size, and reconstructible by re-running).
+* :class:`~repro.experiments.runner.ComparisonRow` -- one table row; the
+  benchmark case itself is stored by its suite key, not by value.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Callable, Optional
+
+from repro.core.report import CoverMeResult, ToolRunSummary
+from repro.instrument.runtime import BranchId
+
+#: Version of the on-disk record layout.  Bump on any incompatible change to
+#: the dictionaries produced below; ``from_dict`` rejects other versions.
+SCHEMA_VERSION = 1
+
+
+class SchemaVersionError(ValueError):
+    """A record's schema version does not match :data:`SCHEMA_VERSION`."""
+
+
+def _check_schema(data: dict, kind: str) -> None:
+    version = data.get("schema")
+    if version != SCHEMA_VERSION:
+        raise SchemaVersionError(
+            f"{kind} record has schema version {version!r}; "
+            f"this code reads version {SCHEMA_VERSION} (run `repro clean` to rebuild the store)"
+        )
+
+
+def canonical_json(obj) -> str:
+    """Canonical JSON used for fingerprints: sorted keys, no whitespace."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint_of(obj) -> str:
+    """SHA-256 hex digest of ``obj``'s canonical JSON form."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def _inputs_to_lists(inputs) -> list[list[float]]:
+    return [[float(v) for v in item] for item in inputs]
+
+
+def _inputs_from_lists(items) -> list[tuple[float, ...]]:
+    return [tuple(float(v) for v in item) for item in items]
+
+
+def _branches_to_list(branches) -> list[list]:
+    """A frozenset of BranchIds as a sorted, JSON-stable list of pairs."""
+    return sorted([b.conditional, b.outcome] for b in branches)
+
+
+def _branches_from_list(items) -> frozenset[BranchId]:
+    return frozenset(BranchId(int(label), bool(outcome)) for label, outcome in items)
+
+
+# ---------------------------------------------------------------------------
+# ToolRunSummary
+# ---------------------------------------------------------------------------
+
+
+def summary_to_dict(summary: ToolRunSummary) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "tool": summary.tool,
+        "program": summary.program,
+        "n_branches": summary.n_branches,
+        "covered_branches": summary.covered_branches,
+        "wall_time": summary.wall_time,
+        "executions": summary.executions,
+        "inputs": _inputs_to_lists(summary.inputs),
+        "n_lines": summary.n_lines,
+        "covered_lines": summary.covered_lines,
+    }
+
+
+def summary_from_dict(data: dict) -> ToolRunSummary:
+    _check_schema(data, "ToolRunSummary")
+    return ToolRunSummary(
+        tool=data["tool"],
+        program=data["program"],
+        n_branches=int(data["n_branches"]),
+        covered_branches=int(data["covered_branches"]),
+        wall_time=float(data["wall_time"]),
+        executions=int(data["executions"]),
+        inputs=_inputs_from_lists(data["inputs"]),
+        n_lines=int(data["n_lines"]),
+        covered_lines=int(data["covered_lines"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# CoverMeResult (persisted without its traces)
+# ---------------------------------------------------------------------------
+
+
+def coverme_result_to_dict(result: CoverMeResult) -> dict:
+    """Serialize a :class:`CoverMeResult`, dropping the ``traces`` list."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "program": result.program,
+        "inputs": _inputs_to_lists(result.inputs),
+        "n_branches": result.n_branches,
+        "covered": _branches_to_list(result.covered),
+        "saturated": _branches_to_list(result.saturated),
+        "infeasible": _branches_to_list(result.infeasible),
+        "evaluations": result.evaluations,
+        "wall_time": result.wall_time,
+        "n_starts_used": result.n_starts_used,
+    }
+
+
+def coverme_result_from_dict(data: dict) -> CoverMeResult:
+    _check_schema(data, "CoverMeResult")
+    return CoverMeResult(
+        program=data["program"],
+        inputs=_inputs_from_lists(data["inputs"]),
+        n_branches=int(data["n_branches"]),
+        covered=_branches_from_list(data["covered"]),
+        saturated=_branches_from_list(data["saturated"]),
+        infeasible=_branches_from_list(data["infeasible"]),
+        evaluations=int(data["evaluations"]),
+        wall_time=float(data["wall_time"]),
+        n_starts_used=int(data["n_starts_used"]),
+        traces=[],
+    )
+
+
+# ---------------------------------------------------------------------------
+# ComparisonRow (the benchmark case is stored by suite key, not by value)
+# ---------------------------------------------------------------------------
+
+
+def comparison_row_to_dict(row) -> dict:
+    return {
+        "schema": SCHEMA_VERSION,
+        "case": row.case.key,
+        "n_branches": row.n_branches,
+        "results": {tool: summary_to_dict(summary) for tool, summary in row.results.items()},
+    }
+
+
+def comparison_row_from_dict(data: dict, case_lookup: Optional[Callable[[str], object]] = None):
+    """Rebuild a :class:`ComparisonRow`; cases resolve through the suite by default."""
+    from repro.experiments.runner import ComparisonRow
+    from repro.fdlibm.suite import case_by_key
+
+    _check_schema(data, "ComparisonRow")
+    lookup = case_lookup if case_lookup is not None else case_by_key
+    return ComparisonRow(
+        case=lookup(data["case"]),
+        n_branches=int(data["n_branches"]),
+        results={tool: summary_from_dict(item) for tool, item in data["results"].items()},
+    )
