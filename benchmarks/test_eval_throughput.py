@@ -1,18 +1,24 @@
-"""Evaluation throughput of the two-tier execution runtime.
+"""Evaluation throughput of the tiered execution runtime.
 
 The paper's bet is that minimizing the representing function is cheap because
 each evaluation "is just an execution of the instrumented program"; the
 engine issues millions of them.  This bench measures evaluations/sec of
 ``FOO_R`` under each :class:`~repro.instrument.runtime.ExecutionProfile` on
-branch-dense Fdlibm functions and asserts the two runtime guarantees:
+branch-dense Fdlibm functions and asserts the runtime guarantees:
 
 * the allocation-free ``PENALTY_ONLY`` profile is at least 3x faster than
   the recording ``FULL_TRACE`` profile (geometric mean over the workload);
-* all profiles compute bit-identical objective values.
+* the compile-time ``PENALTY_SPECIALIZED`` tier is at least 6x faster than
+  ``FULL_TRACE`` *and* at least 1.5x faster than ``PENALTY_ONLY`` -- the
+  specializer must beat the fast runtime it replaces, not just the recorder;
+* all profiles compute bit-identical objective values;
+* the epoch protocol compiles exactly one variant per (mask, epsilon) and
+  performs zero re-specializations while the saturation mask is unchanged.
 
 The measured numbers are written to ``BENCH_eval_throughput.json`` (in
-``REPRO_BENCH_OUTPUT_DIR`` or the working directory) so CI can track the
-perf trajectory across PRs.
+``REPRO_BENCH_OUTPUT_DIR`` or the working directory) with one row per
+profile per function, so CI can track the perf trajectory across PRs; the
+CI job fails if a geomean regresses below its gate.
 """
 
 from __future__ import annotations
@@ -43,6 +49,8 @@ WORKLOAD_FUNCTIONS = (
     "expm1",
 )
 TARGET_SPEEDUP = 3.0
+SPECIALIZED_TARGET_SPEEDUP = 6.0
+SPECIALIZED_VS_PENALTY_TARGET = 1.5
 POINTS = 150
 REPEATS = 6
 
@@ -70,7 +78,7 @@ def _prepared(case):
     return program, tracker, points
 
 
-def _throughput(program, tracker, points, profile) -> tuple[float, list[float]]:
+def _throughput(program, tracker, points, profile) -> tuple[float, list[float], object]:
     representing = RepresentingFunction(program, tracker, profile=profile)
     values = [representing(x) for x in points]  # warm-up + value capture
     # timeit.repeat practice: the fastest repeat is the best estimate of the
@@ -81,7 +89,11 @@ def _throughput(program, tracker, points, profile) -> tuple[float, list[float]]:
         for x in points:
             representing(x)
         best = min(best, time.perf_counter() - started)
-    return len(points) / best, values
+    return len(points) / best, values, representing
+
+
+def _geomean(ratios: list[float]) -> float:
+    return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
 
 
 def test_eval_throughput_and_profile_equivalence(bench_report_dir):
@@ -90,45 +102,82 @@ def test_eval_throughput_and_profile_equivalence(bench_report_dir):
 
     per_function: dict[str, dict[str, float]] = {}
     ratios = []
+    specialized_ratios = []
+    specialized_vs_penalty = []
     for name, case in cases:
         program, tracker, points = _prepared(case)
         rates: dict[str, float] = {}
         values_by_profile = {}
         for profile in ExecutionProfile:
-            rates[profile.value], values_by_profile[profile] = _throughput(
+            rates[profile.value], values_by_profile[profile], representing = _throughput(
                 program, tracker, points, profile
             )
-        # Bit-identical objective values across all three profiles.
+            if profile is ExecutionProfile.PENALTY_SPECIALIZED:
+                # Epoch protocol: the mask never changed during the timing
+                # loop, so exactly one variant was (looked up or) compiled
+                # and the wrapper never switched variants again.
+                assert representing.respecializations == 1, name
+                assert program.specialization_builds == 1, name
+        # Bit-identical objective values across all profiles.
         reference = values_by_profile[ExecutionProfile.FULL_TRACE]
         for profile, values in values_by_profile.items():
             assert values == reference, f"{name}: {profile.value} diverges from full-trace"
-        ratio = rates[ExecutionProfile.PENALTY_ONLY.value] / rates[ExecutionProfile.FULL_TRACE.value]
-        per_function[name] = {**rates, "penalty_vs_full_trace": ratio}
+        full_rate = rates[ExecutionProfile.FULL_TRACE.value]
+        penalty_rate = rates[ExecutionProfile.PENALTY_ONLY.value]
+        specialized_rate = rates[ExecutionProfile.PENALTY_SPECIALIZED.value]
+        ratio = penalty_rate / full_rate
+        specialized_ratio = specialized_rate / full_rate
+        per_function[name] = {
+            **rates,
+            "penalty_vs_full_trace": ratio,
+            "specialized_vs_full_trace": specialized_ratio,
+            "specialized_vs_penalty": specialized_rate / penalty_rate,
+        }
         ratios.append(ratio)
+        specialized_ratios.append(specialized_ratio)
+        specialized_vs_penalty.append(specialized_rate / penalty_rate)
 
-    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    geomean = _geomean(ratios)
+    specialized_geomean = _geomean(specialized_ratios)
+    specialized_vs_penalty_geomean = _geomean(specialized_vs_penalty)
     report = {
         "workload": [name for name, _ in cases],
         "points_per_function": POINTS * (REPEATS + 1),
         "evals_per_sec": per_function,
         "penalty_vs_full_trace_geomean": geomean,
+        "specialized_vs_full_trace_geomean": specialized_geomean,
+        "specialized_vs_penalty_geomean": specialized_vs_penalty_geomean,
         "target_speedup": TARGET_SPEEDUP,
+        "specialized_target_speedup": SPECIALIZED_TARGET_SPEEDUP,
+        "specialized_vs_penalty_target": SPECIALIZED_VS_PENALTY_TARGET,
     }
     payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
     (bench_report_dir / "BENCH_eval_throughput.json").write_text(payload)
     out_dir = os.environ.get("REPRO_BENCH_OUTPUT_DIR")
     if out_dir:  # CI sets this to collect the artifact across PRs
         (Path(out_dir) / "BENCH_eval_throughput.json").write_text(payload)
-    print(f"\npenalty-only vs full-trace: geomean {geomean:.2f}x over {len(ratios)} functions")
+    print(
+        f"\npenalty-only vs full-trace: geomean {geomean:.2f}x; "
+        f"specialized vs full-trace: {specialized_geomean:.2f}x "
+        f"(vs penalty: {specialized_vs_penalty_geomean:.2f}x) over {len(ratios)} functions"
+    )
     for name, stats in per_function.items():
         print(
-            f"  {name:20s} penalty {stats['penalty']:>10,.0f}/s  "
-            f"coverage {stats['coverage']:>10,.0f}/s  "
-            f"full-trace {stats['full-trace']:>10,.0f}/s  "
-            f"({stats['penalty_vs_full_trace']:.2f}x)"
+            f"  {name:20s} specialized {stats['penalty-specialized']:>10,.0f}/s  "
+            f"penalty {stats['penalty']:>10,.0f}/s  "
+            f"full-trace {stats['full-trace']:>9,.0f}/s  "
+            f"({stats['specialized_vs_full_trace']:.2f}x / {stats['penalty_vs_full_trace']:.2f}x)"
         )
     assert geomean >= TARGET_SPEEDUP, (
         f"expected >= {TARGET_SPEEDUP}x penalty-only vs full-trace, measured {geomean:.2f}x"
+    )
+    assert specialized_geomean >= SPECIALIZED_TARGET_SPEEDUP, (
+        f"expected >= {SPECIALIZED_TARGET_SPEEDUP}x specialized vs full-trace, "
+        f"measured {specialized_geomean:.2f}x"
+    )
+    assert specialized_vs_penalty_geomean >= SPECIALIZED_VS_PENALTY_TARGET, (
+        f"expected >= {SPECIALIZED_VS_PENALTY_TARGET}x specialized vs penalty-only, "
+        f"measured {specialized_vs_penalty_geomean:.2f}x"
     )
 
 

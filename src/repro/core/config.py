@@ -62,13 +62,16 @@ class CoverMeConfig:
             Must not depend on ``n_workers`` or seeded runs lose their
             worker-count independence.
         eval_profile: Execution profile of the optimizer inner loop --
-            ``"penalty"`` (allocation-free fast runtime, the default),
-            ``"coverage"`` or ``"full-trace"`` (the recording runtime).  All
-            profiles compute bit-identical representing-function values and
-            produce identical seeded results; richer profiles only retain
-            more per-execution data (and run slower).  Accepted minima are
-            always re-executed under at least the coverage profile, so the
-            reduction sees the same branch sets regardless of this setting.
+            ``"penalty-specialized"`` (the compile-time tier: the saturation
+            mask is baked into re-generated instrumented source, re-compiled
+            only when saturation flips a bit), ``"penalty"`` (allocation-free
+            fast runtime, the default), ``"coverage"`` or ``"full-trace"``
+            (the recording runtime).  All profiles compute bit-identical
+            representing-function values and produce identical seeded
+            results; richer profiles only retain more per-execution data
+            (and run slower).  Accepted minima are always re-executed under
+            at least the coverage profile, so the reduction sees the same
+            branch sets regardless of this setting.
         memoize: Serve repeated objective evaluations at bit-identical
             inputs from a per-start memo cache instead of re-executing the
             program.  Values and seeded trajectories are unchanged; only the

@@ -19,9 +19,17 @@ default) keeps today's recording behavior: every call leaves a complete
 ``PENALTY_ONLY`` and ``COVERAGE`` profiles run on the allocation-free
 :class:`~repro.instrument.runtime.FastRuntime` -- the optimizer inner loop
 only consumes the scalar ``r``, so per-conditional trace objects are pure
-overhead there.  All profiles compute bit-identical values; callers that need
-coverage from a specific point (e.g. an accepted minimum) re-execute it via
-:meth:`RepresentingFunction.evaluate_with_coverage`.
+overhead there.  ``PENALTY_SPECIALIZED`` goes one tier further: the program
+is re-compiled with the saturation mask resolved per probe site
+(:mod:`repro.instrument.specialize`), and this wrapper implements the *epoch
+protocol* -- the compiled variant is reused verbatim while the tracker's
+``saturated_mask`` is unchanged and transparently re-specialized (a cached
+lookup when the mask was seen before) only when saturation actually flips a
+bit.  All profiles compute bit-identical values; callers that need coverage
+from a specific point (e.g. an accepted minimum) re-execute it via
+:meth:`RepresentingFunction.evaluate_with_coverage`, which under the
+specialized tier runs the generic fast runtime so the coverage outcome stays
+complete and identical across profiles.
 """
 
 from __future__ import annotations
@@ -49,6 +57,9 @@ _CLAMP = 1.0e300
 #: Exceptions the program under test may raise that must not escape FOO_R.
 _SWALLOWED = (ArithmeticError, ValueError, OverflowError)
 
+_INF = math.inf
+_F64 = np.dtype(np.float64)
+
 
 class RepresentingFunction:
     """Callable wrapper computing ``FOO_R`` for an instrumented program."""
@@ -67,10 +78,20 @@ class RepresentingFunction:
         self.evaluations = 0
         self.last_record: Optional[ExecutionRecord] = None
         self.last_value: Optional[float] = None
+        # Epoch protocol state for the specialized tier: the active compiled
+        # variant plus a counter of variant switches (a switch is a cached
+        # lookup unless the mask is new to the program -- see
+        # ``InstrumentedProgram.specialization_builds`` for true compiles).
+        self._variant = None
+        self.respecializations = 0
+        self._arity = program.arity
+        self._specialized = self.profile is ExecutionProfile.PENALTY_SPECIALIZED
         if self.profile is ExecutionProfile.FULL_TRACE:
             self._fast: Optional[FastRuntime] = None
             self._runtime = Runtime(policy=CoverMePenalty(self.tracker, epsilon), epsilon=epsilon)
         else:
+            # The specialized tier keeps a fast runtime too: it backs
+            # evaluate_with_coverage(), whose outcome must stay complete.
             self._fast = FastRuntime(program.n_conditionals, epsilon=epsilon)
             self._runtime = None
 
@@ -82,28 +103,32 @@ class RepresentingFunction:
         """Evaluate ``FOO_R`` at ``x`` (a scalar or a length-``arity`` vector)."""
         args = self._coerce(x)
         self.evaluations += 1
-        fast = self._fast
-        if fast is not None:
-            # Fast profiles: install + begin resynchronize the saturation
-            # snapshot from the (possibly updated) tracker, then the program
-            # body runs with zero per-conditional allocations.
-            program = self.program
-            program.handle.install(fast)
-            fast.begin(self.tracker.saturated_mask)
-            try:
-                program.entry(*args)
-            except _SWALLOWED:
-                pass
-            r = fast.r
+        if self._specialized:
+            # Specialized tier: re-read the mask every call (like the fast
+            # profiles resynchronize at begin()), but only touch the compiler
+            # when saturation actually flipped a bit.  Mid-epoch calls are a
+            # single int comparison away from the compiled variant.
+            mask = self.tracker.saturated_mask
+            variant = self._variant
+            if variant is None or variant.saturated_mask != mask:
+                variant = self.program.specialize(mask, self.epsilon)
+                self._variant = variant
+                self.respecializations += 1
+            _, r = variant.run(args)
+            self.last_record = None
+        elif self._fast is not None:
+            r = self._run_fast(args)
             self.last_record = None
         else:
             _, r, record = self.program.run(args, runtime=self._runtime)
             self.last_record = record
-        if not math.isfinite(r):
+        if r != r or r == _INF or r == -_INF:
             # NaN carries no gradient, and +/-inf (e.g. summed overflow-guard
             # distances of an ``and`` test) would poison any optimizer that
             # compares or subtracts objective values; clamp all three to the
             # same large finite penalty so C1 (FOO_R >= 0) holds numerically.
+            # (Spelled as three comparisons rather than math.isfinite so the
+            # overwhelmingly common finite case pays no call.)
             r = _CLAMP
         self.last_value = r
         return r
@@ -146,16 +171,55 @@ class RepresentingFunction:
                 last_conditional=None if last is None else last.conditional,
                 last_outcome=None if last is None else last.outcome,
             )
+        if self._specialized:
+            # The specialized variant's covered bitset is partial (stripped
+            # probes record nothing) and it tracks no last conditional, so
+            # coverage harvesting runs the generic fast runtime against the
+            # same mask -- values stay bit-identical, outcomes complete.
+            args = self._coerce(x)
+            self.evaluations += 1
+            r = self._run_fast(args)
+            if r != r or r == _INF or r == -_INF:
+                r = _CLAMP
+            self.last_record = None
+            self.last_value = r
+            return r, self._fast.snapshot()
         value = self(x)
         return value, self._fast.snapshot()
 
     # -- helpers -------------------------------------------------------------------
 
-    def _coerce(self, x) -> tuple[float, ...]:
-        if isinstance(x, np.ndarray):
+    def _run_fast(self, args) -> float:
+        """One generic fast-runtime execution against the current mask.
+
+        install + begin resynchronize the saturation snapshot from the
+        (possibly updated) tracker, then the program body runs with zero
+        per-conditional allocations.  Shared by the penalty/coverage call
+        path and the specialized tier's coverage harvest so the bit-sensitive
+        execution body exists exactly once.
+        """
+        fast = self._fast
+        program = self.program
+        program.handle.install(fast)
+        fast.begin(self.tracker.saturated_mask)
+        try:
+            program.entry(*args)
+        except _SWALLOWED:
+            pass
+        return fast.r
+
+    def _coerce(self, x) -> Sequence[float]:
+        if x.__class__ is np.ndarray:
+            # The optimizer hot path: a 1-d float64 vector of the right
+            # length.  tolist() yields Python floats in one C call; the
+            # generic reshaping/conversion below is kept for exotic inputs.
+            if x.dtype is _F64 and x.ndim == 1:
+                values = x.tolist()
+            else:
+                arr = np.atleast_1d(x).ravel()
+                values = arr.tolist() if arr.dtype == np.float64 else [float(v) for v in arr]
+        elif isinstance(x, np.ndarray):
             arr = np.atleast_1d(x).ravel()
-            # float64 tolist() yields Python floats directly (the optimizer
-            # hot path); other dtypes go through an explicit conversion.
             values = arr.tolist() if arr.dtype == np.float64 else [float(v) for v in arr]
         elif isinstance(x, (int, float)) and not isinstance(x, bool):
             values = [float(x)]
@@ -163,8 +227,10 @@ class RepresentingFunction:
             values = [float(v) for v in x]
         else:
             values = [float(x)]
-        if len(values) != self.program.arity:
+        if len(values) != self._arity:
             raise ValueError(
-                f"{self.program.name} expects {self.program.arity} inputs, got {len(values)}"
+                f"{self.program.name} expects {self._arity} inputs, got {len(values)}"
             )
-        return tuple(values)
+        # Returned as the list itself: every consumer star-unpacks or
+        # iterates, so the historical tuple() copy was pure allocation.
+        return values

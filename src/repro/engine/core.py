@@ -20,6 +20,16 @@ covered/saturated branch sets for any ``n_workers`` and any worker mode.
 The one documented exception is ``time_budget``, which is inherently
 wall-clock dependent: workers stop launching new starts once the deadline
 passes, and the reduction stops at the first start that was skipped.
+
+The batch is also the specialization *epoch* boundary: under the
+``penalty-specialized`` evaluation profile every start of a batch minimizes
+against a compiled variant of the program whose probe sites have the batch's
+frozen saturation mask resolved at compile time
+(:mod:`repro.instrument.specialize`).  The reduction between batches is the
+only place saturation bits flip, so re-specialization happens at most once
+per program per new mask -- and is a cache hit whenever the mask did not
+actually change, which the throughput benchmark asserts as "zero recompiles
+while the mask is unchanged".
 """
 
 from __future__ import annotations

@@ -13,6 +13,16 @@ same snapshot, which makes them independent of one another -- the property
 that lets the engine run them on any number of workers and still merge the
 results deterministically.
 
+Under the ``PENALTY_SPECIALIZED`` profile the epoch protocol composes with
+this structure for free: the per-start tracker snapshot freezes the
+saturation mask, so one start triggers at most one variant lookup, and the
+program-level + module-level specialization caches make that lookup a
+dictionary hit whenever any earlier start of the same worker (thread clones
+and process workers each own a program instance) already ran against the
+same mask.  Epoch invalidation therefore needs no cross-worker coordination:
+each worker's representing function re-reads its tracker's mask per call and
+re-specializes exactly when a batch reduction flipped a saturation bit.
+
 The same :func:`run_start` body serves all three execution modes:
 
 * **serial** and **thread** workers call it directly on (clones of) the

@@ -15,26 +15,32 @@ baseline tools.
 
 from repro.instrument.ast_pass import InstrumentationPass, instrument_source
 from repro.instrument.cfg import DescendantAnalysis
-from repro.instrument.program import InstrumentedProgram, instrument
+from repro.instrument.program import InstrumentedProgram, SpecializedVariant, instrument
 from repro.instrument.runtime import (
     BranchId,
     ConditionalOutcome,
+    ExecutionProfile,
     ExecutionRecord,
     PenaltyPolicy,
     Runtime,
 )
 from repro.instrument.signature import ProgramSignature
+from repro.instrument.specialize import specialize_source, specialized_unit
 
 __all__ = [
     "BranchId",
     "ConditionalOutcome",
     "DescendantAnalysis",
+    "ExecutionProfile",
     "ExecutionRecord",
     "InstrumentationPass",
     "InstrumentedProgram",
     "PenaltyPolicy",
     "ProgramSignature",
     "Runtime",
+    "SpecializedVariant",
     "instrument",
     "instrument_source",
+    "specialize_source",
+    "specialized_unit",
 ]

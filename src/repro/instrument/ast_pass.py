@@ -95,6 +95,46 @@ class _LoweringOverflow(Exception):
     """Raised when a Boolean tree exceeds the leaf/token ceilings."""
 
 
+def strip_not(test: ast.expr) -> tuple[ast.expr, bool]:
+    """Peel ``not`` wrappers off a test, returning the core and the parity.
+
+    Shared by the instrumentation pass and the saturation specializer
+    (:mod:`repro.instrument.specialize`) so both classify a conditional's
+    shape identically.
+    """
+    negated = False
+    while isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        negated = not negated
+        test = test.operand
+    return test, negated
+
+
+def is_chain(test: ast.expr) -> bool:
+    """Whether ``test`` is a chained comparison over supported operators."""
+    return (
+        isinstance(test, ast.Compare)
+        and len(test.ops) > 1
+        and all(type(op) in _AST_OPS for op in test.ops)
+    )
+
+
+def as_simple_comparison(test: ast.expr):
+    """Return ``(op, lhs, rhs, negated)`` if ``test`` is one comparison.
+
+    ``op`` already folds an odd number of ``not`` wrappers (the operator is
+    flipped), exactly as the fused ``rt.test`` probe is emitted.
+    """
+    test, negated = strip_not(test)
+    if isinstance(test, ast.Compare) and len(test.ops) == 1 and len(test.comparators) == 1:
+        op_type = type(test.ops[0])
+        if op_type in _AST_OPS:
+            op = _AST_OPS[op_type]
+            if negated:
+                op = _NEGATED[op]
+            return op, test.left, test.comparators[0], negated
+    return None
+
+
 @dataclass(frozen=True)
 class ConditionalInfo:
     """Static description of one labeled conditional statement."""
@@ -233,7 +273,7 @@ class InstrumentationPass(ast.NodeTransformer):
             op, lhs, rhs, negated = simple
             call = self._call("test", [ast.Constant(label), ast.Constant(op), lhs, rhs])
             return call, ("negated" if negated else "simple")
-        stripped, _ = self._strip_not(test)
+        stripped, _ = strip_not(test)
         if isinstance(stripped, (ast.BoolOp, ast.IfExp)) or self._is_chain(stripped):
             try:
                 lowering = _TreeLowering(self, label)
@@ -257,35 +297,11 @@ class InstrumentationPass(ast.NodeTransformer):
         # values to a ``!= 0`` distance at run time (Sect. 5.3).
         return self._call("truth", [ast.Constant(label), test]), "promoted"
 
-    @staticmethod
-    def _strip_not(test: ast.expr) -> tuple[ast.expr, bool]:
-        """Peel ``not`` wrappers, returning the core and the parity."""
-        negated = False
-        while isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
-            negated = not negated
-            test = test.operand
-        return test, negated
-
-    @staticmethod
-    def _is_chain(test: ast.expr) -> bool:
-        """Whether ``test`` is a chained comparison over supported operators."""
-        return (
-            isinstance(test, ast.Compare)
-            and len(test.ops) > 1
-            and all(type(op) in _AST_OPS for op in test.ops)
-        )
-
-    def _as_simple_comparison(self, test: ast.expr):
-        """Return ``(op, lhs, rhs, negated)`` if ``test`` is one comparison."""
-        test, negated = self._strip_not(test)
-        if isinstance(test, ast.Compare) and len(test.ops) == 1 and len(test.comparators) == 1:
-            op_type = type(test.ops[0])
-            if op_type in _AST_OPS:
-                op = _AST_OPS[op_type]
-                if negated:
-                    op = _NEGATED[op]
-                return op, test.left, test.comparators[0], negated
-        return None
+    # Shared shape helpers, kept as (static)methods for backwards
+    # compatibility with existing callers/tests.
+    _strip_not = staticmethod(strip_not)
+    _is_chain = staticmethod(is_chain)
+    _as_simple_comparison = staticmethod(as_simple_comparison)
 
     def _temp_name(self) -> str:
         name = f"{TEMP_NAME_PREFIX}{self._temp_counter}"

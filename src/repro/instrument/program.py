@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from types import CodeType
 from typing import Callable, Iterable, Optional, Sequence
 
+from repro.core.branch_distance import DEFAULT_EPSILON
 from repro.instrument.ast_pass import (
     HANDLE_NAME,
     ConditionalInfo,
@@ -45,6 +46,13 @@ from repro.instrument.runtime import (
     RuntimeHandle,
 )
 from repro.instrument.signature import ProgramSignature
+from repro.instrument.specialize import (
+    COV_NAME,
+    R_NAME,
+    clear_specialized_cache,
+    specialized_cache_info,
+    specialized_unit,
+)
 
 
 class InstrumentationError(RuntimeError):
@@ -85,15 +93,25 @@ _CODE_CACHE_LOCK = threading.Lock()
 _CODE_CACHE_MAX = 512
 
 
-def compiled_cache_info() -> dict[str, int]:
-    """Size statistics of the compiled-code cache (for tests/diagnostics)."""
-    return {"entries": len(_CODE_CACHE), "max_entries": _CODE_CACHE_MAX}
+def compiled_cache_info() -> dict:
+    """Statistics of both compile-tier caches (for tests/diagnostics).
+
+    The top-level ``entries``/``max_entries`` keys describe the generic
+    compiled-unit cache (backwards compatible); ``specialized`` nests the
+    per-mask specialization cache's size and hit/miss/evict counters.
+    """
+    return {
+        "entries": len(_CODE_CACHE),
+        "max_entries": _CODE_CACHE_MAX,
+        "specialized": specialized_cache_info(),
+    }
 
 
 def clear_compiled_cache() -> None:
-    """Drop every cached compiled unit (primarily for tests)."""
+    """Drop every cached compiled unit and specialization (primarily for tests)."""
     with _CODE_CACHE_LOCK:
         _CODE_CACHE.clear()
+    clear_specialized_cache()
 
 
 def _compiled_unit(source: str, function_name: str, start_label: int) -> CompiledUnit:
@@ -123,6 +141,81 @@ def _compiled_unit(source: str, function_name: str, start_label: int) -> Compile
     return unit
 
 
+#: Bound on cached specialized variants per program instance.  Masks evolve
+#: monotonically within one search, so live masks are few; the FIFO bound only
+#: protects pathological callers cycling through many masks.
+_VARIANTS_MAX = 64
+
+
+class SpecializedVariant:
+    """One compiled specialization of a program against a concrete mask.
+
+    The variant owns a fresh namespace whose function definitions carry the
+    Def. 4.2 dispatch resolved per probe site (see
+    :mod:`repro.instrument.specialize`); executing it costs no runtime handle,
+    no probe method calls and no mask shifts.  ``covered`` holds the partial
+    covered-branch bytearray: only conditionals that were not both-saturated
+    at specialization time record bits (stripped probes record nothing).
+    """
+
+    __slots__ = (
+        "program_name",
+        "saturated_mask",
+        "epsilon",
+        "entry",
+        "namespace",
+        "covered",
+        "_zeros",
+        "n_conditionals",
+    )
+
+    def __init__(
+        self,
+        program_name: str,
+        saturated_mask: int,
+        epsilon: float,
+        entry: Callable,
+        namespace: dict,
+        n_conditionals: int,
+    ):
+        self.program_name = program_name
+        self.saturated_mask = saturated_mask
+        self.epsilon = epsilon
+        self.entry = entry
+        self.namespace = namespace
+        self.n_conditionals = n_conditionals
+        self._zeros = bytes(2 * n_conditionals)
+        self.covered = namespace[COV_NAME]
+
+    def run(self, args: Sequence[float]) -> tuple[object, float]:
+        """Execute once, returning ``(return_value, r)``.
+
+        Exceptions the generic runtimes swallow are swallowed here too, so the
+        representing function stays total under this tier as well.
+        """
+        namespace = self.namespace
+        namespace[R_NAME] = 1.0
+        self.covered[:] = self._zeros
+        value: object = None
+        try:
+            value = self.entry(*args)
+        except (ArithmeticError, ValueError, OverflowError):
+            value = None
+        return value, namespace[R_NAME]
+
+    @property
+    def r(self) -> float:
+        return self.namespace[R_NAME]
+
+    def covered_mask(self) -> int:
+        """Covered branches of the last run as a flat (partial) bitmask."""
+        mask = 0
+        for bit, hit in enumerate(self.covered):
+            if hit:
+                mask |= 1 << bit
+        return mask
+
+
 @dataclass
 class InstrumentedProgram:
     """A compiled, instrumented program under test.
@@ -134,6 +227,10 @@ class InstrumentedProgram:
         descendants: Descendant-branch analysis used by saturation tracking.
         origin: Build recipe enabling :meth:`clone`; ``None`` for programs
             assembled by hand.
+        units: Per-target ``(original source, function name, start label)``
+            triples recorded by :func:`instrument`; the splice points the
+            saturation specializer rebuilds from.  Empty for hand-assembled
+            programs, which therefore cannot be specialized.
     """
 
     name: str
@@ -144,6 +241,9 @@ class InstrumentedProgram:
     handle: RuntimeHandle = field(repr=False)
     source: str = field(repr=False, default="")
     origin: Optional[ProgramOrigin] = field(repr=False, default=None)
+    units: tuple[tuple[str, str, int], ...] = field(repr=False, default=())
+    specialization_builds: int = field(default=0, repr=False)
+    _variants: dict = field(default_factory=dict, repr=False)
 
     @property
     def arity(self) -> int:
@@ -234,6 +334,17 @@ class InstrumentedProgram:
         profile = ExecutionProfile(profile)
         if profile is ExecutionProfile.FULL_TRACE:
             return self.run(args, runtime=runtime)  # type: ignore[arg-type]
+        if profile is ExecutionProfile.PENALTY_SPECIALIZED:
+            if saturated_mask is None:
+                saturated_mask = getattr(runtime, "saturated_mask", 0)
+            return self.run_specialized(
+                args,
+                saturated_mask,
+                # A passed (fast) runtime configures the tier -- its epsilon
+                # is baked into the specialized code, keeping r bit-identical
+                # to what that runtime would compute.
+                epsilon=getattr(runtime, "epsilon", DEFAULT_EPSILON),
+            )
         fast = runtime if runtime is not None else FastRuntime(self.n_conditionals)
         self.handle.install(fast)
         fast.begin(saturated_mask)
@@ -245,6 +356,67 @@ class InstrumentedProgram:
         if profile is ExecutionProfile.PENALTY_ONLY:
             return value, fast.r, fast.covered_mask()
         return value, fast.r, fast.snapshot()
+
+    def specialize(
+        self, saturated_mask: int, epsilon: float = DEFAULT_EPSILON
+    ) -> SpecializedVariant:
+        """The compiled specialization of this program for ``saturated_mask``.
+
+        Variants are cached per ``(mask, epsilon)`` on the program instance
+        (namespaces are per-program state) on top of the module-level
+        compiled-code cache, so re-requesting a mask an epoch already used is
+        a dictionary lookup and a repeated mask across programs/workers only
+        pays a namespace ``exec``, never a re-compile.
+        ``specialization_builds`` counts true variant constructions -- the
+        epoch protocol's "zero recompiles while the mask is unchanged"
+        guarantee is asserted against it.
+        """
+        if not self.units:
+            raise InstrumentationError(
+                f"program {self.name!r} carries no source units and cannot be specialized"
+            )
+        mask = saturated_mask & ((1 << (2 * self.n_conditionals)) - 1)
+        key = (mask, epsilon)
+        variant = self._variants.get(key)
+        if variant is not None:
+            return variant
+        namespace = dict(self.entry.__globals__)
+        namespace[COV_NAME] = bytearray(2 * self.n_conditionals)
+        namespace[R_NAME] = 1.0
+        for source, function_name, start_label in self.units:
+            unit = specialized_unit(source, function_name, start_label, mask, epsilon)
+            exec(unit.code, namespace)  # noqa: S102 - recompiling the user's own function
+        variant = SpecializedVariant(
+            program_name=self.name,
+            saturated_mask=mask,
+            epsilon=epsilon,
+            entry=namespace[self.name],
+            namespace=namespace,
+            n_conditionals=self.n_conditionals,
+        )
+        self.specialization_builds += 1
+        while len(self._variants) >= _VARIANTS_MAX:
+            self._variants.pop(next(iter(self._variants)))
+        self._variants[key] = variant
+        return variant
+
+    def run_specialized(
+        self,
+        args: Sequence[float],
+        saturated_mask: int,
+        epsilon: float = DEFAULT_EPSILON,
+    ) -> tuple[object, float, int]:
+        """Execute under the ``PENALTY_SPECIALIZED`` tier.
+
+        Returns ``(return_value, r, covered_mask)`` where ``covered_mask`` is
+        *partial*: conditionals that were both-saturated in ``saturated_mask``
+        had their probes stripped and record no bits.  ``r`` is bit-identical
+        to what :class:`~repro.instrument.runtime.FastRuntime` computes for
+        the same mask.
+        """
+        variant = self.specialize(saturated_mask, epsilon)
+        value, r = variant.run(args)
+        return value, r, variant.covered_mask()
 
     def clone(self) -> "InstrumentedProgram":
         """Rebuild this program with a fresh namespace and runtime handle.
@@ -302,6 +474,7 @@ def instrument(
     analysis = DescendantAnalysis()
     next_label = 0
     sources: list[str] = []
+    units: list[tuple[str, str, int]] = []
 
     for target in targets:
         try:
@@ -310,6 +483,7 @@ def instrument(
             raise InstrumentationError(
                 f"cannot obtain source for {getattr(target, '__name__', target)!r}: {exc}"
             ) from exc
+        units.append((source, target.__name__, next_label))
         unit = _compiled_unit(source, target.__name__, next_label)
         next_label += len(unit.conditionals)
         conditionals.extend(unit.conditionals)
@@ -328,4 +502,5 @@ def instrument(
         handle=handle,
         source="\n\n".join(sources),
         origin=ProgramOrigin(target=func, extra_functions=extra_functions, signature=signature),
+        units=tuple(units),
     )

@@ -94,6 +94,12 @@ from repro.core.branch_distance import DEFAULT_EPSILON, branch_distance, negate_
 
 _COMPARISON_OPS = {"==", "!=", "<", "<=", ">", ">="}
 
+#: Large constant distance reported when operands carry no usable gradient
+#: (NaN comparisons).  Shared with the specializing compiler tier
+#: (:mod:`repro.instrument.specialize`) so the baked-in constants stay
+#: bit-identical with the runtime-dispatched ones.
+BIG_DISTANCE = 1.0e300
+
 #: Composition-program token: logical NOT (swap the distance pair on top).
 TREE_NOT = -1
 
@@ -117,8 +123,18 @@ class ExecutionProfile(str, enum.Enum):
 
     Ordered from cheapest to most expensive; see the module docstring for
     when each profile is sound.
+
+    ``PENALTY_SPECIALIZED`` is the compile-time tier: the saturation mask is
+    resolved per probe site by :mod:`repro.instrument.specialize` and the
+    program re-compiled, so mid-epoch evaluations pay no per-conditional
+    runtime dispatch at all.  Its contract is the same as ``PENALTY_ONLY``
+    minus the covered bitset completeness: both-saturated conditionals have
+    their probes stripped entirely, so only unsaturated conditionals record
+    covered bits (sound for the optimizer inner loop; accepted minima are
+    re-executed under ``COVERAGE`` to harvest branches).
     """
 
+    PENALTY_SPECIALIZED = "penalty-specialized"
     PENALTY_ONLY = "penalty"
     COVERAGE = "coverage"
     FULL_TRACE = "full-trace"
@@ -414,7 +430,7 @@ class Runtime:
         if math.isnan(a) or math.isnan(b):
             # NaN comparisons are all-false except ``!=``; there is no usable
             # gradient, so report a large constant distance.
-            big = 1.0e300
+            big = BIG_DISTANCE
             return (0.0, big) if op == "!=" else (big, 0.0)
         d_true = branch_distance(op, a, b, self.epsilon)
         d_false = branch_distance(negate_op(op), a, b, self.epsilon)
@@ -569,9 +585,9 @@ class FastRuntime:
             return outcome
         if lhs != lhs or rhs != rhs:  # NaN operand (matches Runtime._distances)
             if bits == 1:  # steer towards the true branch
-                self._r = 0.0 if op == "!=" else 1.0e300
+                self._r = 0.0 if op == "!=" else BIG_DISTANCE
             else:  # steer towards the false branch
-                self._r = 1.0e300 if op == "!=" else 0.0
+                self._r = BIG_DISTANCE if op == "!=" else 0.0
             return outcome
         if bits == 1:
             # Def. 4.2(b): only the false branch saturated; steer to true.
@@ -620,9 +636,9 @@ class FastRuntime:
         if a != a or b != b:  # NaN operand (matches Runtime._distances)
             if op == "!=":
                 ts[leaf] = 0.0
-                fs[leaf] = 1.0e300
+                fs[leaf] = BIG_DISTANCE
             else:
-                ts[leaf] = 1.0e300
+                ts[leaf] = BIG_DISTANCE
                 fs[leaf] = 0.0
         else:
             # Both directions of Def. 4.1 fused around one squared gap; the
@@ -631,7 +647,7 @@ class FastRuntime:
             # exactly, min() keeps a NaN gap like _squared_gap does).
             eps = self.epsilon
             gap = a - b
-            g = 1.0e300 if math.isinf(gap) else min(gap * gap, 1.0e300)
+            g = BIG_DISTANCE if math.isinf(gap) else min(gap * gap, BIG_DISTANCE)
             if op == "<":
                 ts[leaf] = 0.0 if a < b else g + eps
                 fs[leaf] = 0.0 if b <= a else g
@@ -675,7 +691,7 @@ class FastRuntime:
                 oks[leaf] = 0
                 return not outcome if negated else outcome
             if promoted != promoted:  # NaN is != 0: the test holds
-                d_true, d_false = 0.0, 1.0e300
+                d_true, d_false = 0.0, BIG_DISTANCE
             else:
                 d_true = branch_distance("!=", promoted, 0.0, self.epsilon)
                 d_false = branch_distance("==", promoted, 0.0, self.epsilon)
@@ -864,7 +880,7 @@ class FastRuntime:
         except (TypeError, ValueError, OverflowError):
             return None, None
         if math.isnan(a) or math.isnan(b):
-            big = 1.0e300
+            big = BIG_DISTANCE
             return (0.0, big) if op == "!=" else (big, 0.0)
         return (
             branch_distance(op, a, b, self.epsilon),

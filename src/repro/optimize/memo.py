@@ -11,6 +11,13 @@ input doubles (``struct.pack``), which -- unlike keying by value -- is exact:
 The memo is transparent to optimizers: wrapped and unwrapped objectives
 return bit-identical values, so seeded search trajectories are unchanged;
 only the number of true program executions drops.
+
+Memory is bounded: the cache holds at most ``max_entries`` distinct points
+and evicts in insertion (FIFO) order once full, so arbitrarily long
+multi-start runs hold O(``max_entries``) memory per memo instead of growing
+with the number of distinct points visited.  ``hits``/``misses``/
+``evictions`` counters (see :meth:`BitPatternMemo.stats`) expose the cache's
+behavior to diagnostics and benchmarks.
 """
 
 from __future__ import annotations
@@ -31,18 +38,32 @@ class BitPatternMemo:
             lifetime of the memo (true for the representing function within
             one start, whose saturation snapshot is frozen).
         arity: Number of input doubles.
-        max_entries: Cache bound; when full, further new points are
-            evaluated but not cached (the hot repeats are cached early).
+        max_entries: Cache bound; when full, the oldest entry is evicted for
+            each new point (FIFO), so the memo's memory stays O(1) while hot
+            repeats -- which cluster in time during a line search -- keep
+            hitting.
     """
 
-    __slots__ = ("func", "arity", "max_entries", "hits", "misses", "_cache", "_pack")
+    __slots__ = (
+        "func",
+        "arity",
+        "max_entries",
+        "hits",
+        "misses",
+        "evictions",
+        "_cache",
+        "_pack",
+    )
 
     def __init__(self, func: Callable, arity: int, max_entries: int = DEFAULT_MAX_ENTRIES):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
         self.func = func
         self.arity = arity
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._cache: dict[bytes, float] = {}
         self._pack = struct.Struct(f"={arity}d").pack
 
@@ -60,9 +81,23 @@ class BitPatternMemo:
             return value
         value = self.func(x)
         self.misses += 1
-        if len(cache) < self.max_entries:
-            cache[key] = value
+        if len(cache) >= self.max_entries:
+            # FIFO bound: dicts iterate in insertion order, so the first key
+            # is the oldest point.
+            del cache[next(iter(cache))]
+            self.evictions += 1
+        cache[key] = value
         return value
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/evict counters plus the current and maximum size."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._cache),
+            "max_entries": self.max_entries,
+        }
 
     def clear(self) -> None:
         self._cache.clear()

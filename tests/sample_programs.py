@@ -125,6 +125,34 @@ def mixed_leaves(x: float, y: float) -> int:
     return 3
 
 
+def while_else_loop(x: float) -> float:
+    """A ``while ... else`` loop: the else runs only on normal exhaustion."""
+    total = 0.0
+    while x > 1.0:
+        x = x * 0.5
+        total = total + 1.0
+        if total > 80.0:
+            break
+    else:
+        total = total - 0.5
+    return total
+
+
+def huge_int_guard(x: float) -> int:
+    """Operands beyond float range: distances degrade to coverage-only."""
+    n = int(abs(x)) + 10**400
+    if n > 5:
+        return 1
+    return 0
+
+
+def ternary_in_tree(x: float, y: float) -> int:
+    """A ternary nested inside a Boolean tree (composition re-uses cond)."""
+    if x > 0.0 and (y < 1.0 if x < 9.0 else y > 2.0):
+        return 1
+    return 0
+
+
 def infeasible_inner(x: float) -> int:
     """The inner true branch is infeasible: y = x*x is never -1."""
     if x <= 1.0:

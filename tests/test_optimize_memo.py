@@ -60,6 +60,36 @@ class TestBitPatternMemo:
         # Uncached points still evaluate correctly.
         assert memo(np.array([9.0])) == objective(np.array([9.0]))
 
+    def test_fifo_eviction_keeps_newest_entries(self):
+        objective = CountingObjective()
+        memo = BitPatternMemo(objective, arity=1, max_entries=3)
+        for i in range(5):
+            memo(np.array([float(i)]))
+        assert memo.evictions == 2  # 0.0 and 1.0 aged out
+        calls_before = objective.calls
+        memo(np.array([4.0]))  # newest entry survived the evictions
+        assert objective.calls == calls_before
+        memo(np.array([0.0]))  # oldest entry was evicted: re-evaluates
+        assert objective.calls == calls_before + 1
+
+    def test_stats_counters(self):
+        objective = CountingObjective()
+        memo = BitPatternMemo(objective, arity=1, max_entries=2)
+        for value in (1.0, 1.0, 2.0, 3.0, 3.0):
+            memo(np.array([value]))
+        stats = memo.stats()
+        assert stats == {
+            "hits": 2,
+            "misses": 3,
+            "evictions": 1,
+            "entries": 2,
+            "max_entries": 2,
+        }
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            BitPatternMemo(CountingObjective(), arity=1, max_entries=0)
+
     def test_arity_mismatch_passes_through_uncached(self):
         objective = CountingObjective()
         memo = BitPatternMemo(objective, arity=3)
