@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Optional
 
 from repro.experiments.runner import PROFILES
+from repro.instrument.runtime import EXECUTION_PROFILES
 from repro.store import RunStore
 
 DEFAULT_STORE = ".repro-store"
@@ -53,6 +54,24 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--cases", type=int, default=None, metavar="N",
             help="limit the run to the first N suite cases",
+        )
+        p.add_argument(
+            "--eval-profile", choices=sorted(EXECUTION_PROFILES), default=None,
+            help="override the optimizer inner-loop execution profile "
+            "(e.g. penalty-specialized for the compiled tier)",
+        )
+        p.add_argument(
+            "--batch-starts",
+            action=argparse.BooleanOptionalAction,
+            default=None,
+            help="prime each chunk of starts with one batched kernel call "
+            "(penalty-specialized profile only; --no-batch-starts forces "
+            "scalar first evaluations)",
+        )
+        p.add_argument(
+            "--proposal-population", type=int, default=None, metavar="K",
+            help="basin-hopping perturbation candidates screened per hop "
+            "(default 1 = the paper's single-proposal trajectory)",
         )
 
     run_p = sub.add_parser("run", help="execute specs (resuming from the store) and render them")
@@ -110,6 +129,12 @@ def _resolve_profile(args):
         overrides["seed"] = args.seed
     if args.cases is not None:
         overrides["max_cases"] = args.cases
+    if getattr(args, "eval_profile", None) is not None:
+        overrides["eval_profile"] = args.eval_profile
+    if getattr(args, "batch_starts", None) is not None:
+        overrides["batch_starts"] = args.batch_starts
+    if getattr(args, "proposal_population", None) is not None:
+        overrides["proposal_population"] = args.proposal_population
     return dataclasses.replace(profile, **overrides) if overrides else profile
 
 

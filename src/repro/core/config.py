@@ -76,6 +76,17 @@ class CoverMeConfig:
             inputs from a per-start memo cache instead of re-executing the
             program.  Values and seeded trajectories are unchanged; only the
             execution count drops.
+        batch_starts: Under the ``penalty-specialized`` profile (with numpy
+            available and ``memoize`` on), prime each chunk of starts with
+            one batched-kernel call over the chunk's start vectors instead
+            of N scalar first evaluations.  Values, seeded trajectories and
+            per-start evaluation counts are unchanged for any worker count;
+            only the Python-dispatch overhead drops.
+        proposal_population: Perturbation candidates screened per
+            basin-hopping Monte-Carlo move (builtin backend).  1 (the
+            default) reproduces the historical single-proposal trajectory
+            exactly; larger values batch-evaluate the whole population per
+            hop and descend from the best candidate.
     """
 
     n_start: int = 100
@@ -99,6 +110,8 @@ class CoverMeConfig:
     batch_size: Optional[int] = None
     eval_profile: str = ExecutionProfile.PENALTY_ONLY.value
     memoize: bool = True
+    batch_starts: bool = True
+    proposal_population: int = 1
 
     def __post_init__(self) -> None:
         # Imported lazily: the registries live above repro.core in the layer
@@ -140,6 +153,8 @@ class CoverMeConfig:
         if self.eval_profile not in EXECUTION_PROFILES:
             known = ", ".join(EXECUTION_PROFILES)
             raise ValueError(f"unknown eval profile {self.eval_profile!r}; known: {known}")
+        if self.proposal_population < 1:
+            raise ValueError("proposal_population must be >= 1")
 
     def effective_batch_size(self) -> int:
         """The batch size the engine actually uses."""

@@ -42,6 +42,8 @@ import numpy as np
 from repro.core.branch_distance import DEFAULT_EPSILON
 from repro.core.pen import CoverMePenalty
 from repro.core.saturation import SaturationTracker
+from repro.instrument.batch import numpy_available as _batch_numpy_available
+from repro.instrument.batch import warn_once as _warn_once
 from repro.instrument.program import InstrumentedProgram
 from repro.instrument.runtime import (
     CoverageOutcome,
@@ -84,6 +86,11 @@ class RepresentingFunction:
         # ``InstrumentedProgram.specialization_builds`` for true compiles).
         self._variant = None
         self.respecializations = 0
+        # Batched-kernel epoch state: mirrors the scalar variant protocol but
+        # with its own counters so the two tiers stay independently auditable.
+        self._batch_kernel = None
+        self.batch_respecializations = 0
+        self.batched_calls = 0
         self._arity = program.arity
         self._specialized = self.profile is ExecutionProfile.PENALTY_SPECIALIZED
         if self.profile is ExecutionProfile.FULL_TRACE:
@@ -132,6 +139,57 @@ class RepresentingFunction:
             r = _CLAMP
         self.last_value = r
         return r
+
+    def evaluate_batch(self, X) -> np.ndarray:
+        """Evaluate ``FOO_R`` at every row of an ``(N, arity)`` array at once.
+
+        Under the ``PENALTY_SPECIALIZED`` profile (with numpy available) the
+        whole batch goes through one
+        :class:`~repro.instrument.batch.BatchKernel` call, following the same
+        epoch protocol as ``__call__``: the kernel is reused verbatim while
+        the tracker's ``saturated_mask`` is unchanged and rebuilt (a cached
+        per-program lookup when the mask was seen before) only when a bit
+        flips.  Every other profile -- and the specialized profile when numpy
+        is missing -- degrades to a per-row loop over ``__call__``, so the
+        returned vector is bit-identical to N sequential scalar calls in all
+        configurations.  Non-finite register values clamp to the same large
+        finite penalty as the scalar path.
+        """
+        X = np.ascontiguousarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1) if self._arity == 1 else X.reshape(1, -1)
+        if X.ndim != 2 or X.shape[1] != self._arity:
+            raise ValueError(
+                f"{self.program.name} expects (N, {self._arity}) batches, got shape {X.shape}"
+            )
+        n = X.shape[0]
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        if self._specialized and _batch_numpy_available():
+            mask = self.tracker.saturated_mask
+            kernel = self._batch_kernel
+            if kernel is None or kernel.saturated_mask != mask:
+                kernel = self.program.batch_kernel(mask, self.epsilon)
+                self._batch_kernel = kernel
+                self.batch_respecializations += 1
+            raw, _cov = kernel(X)
+            out = np.where(np.isfinite(raw), raw, _CLAMP)
+            self.evaluations += n
+            self.batched_calls += 1
+            self.last_record = None
+            self.last_value = float(out[-1])
+            return out
+        if self._specialized:
+            _warn_once(
+                "representing-evaluate-batch-degraded",
+                "numpy is unavailable: evaluate_batch() degrades to per-row "
+                "scalar specialized evaluation (install the [batch] extra "
+                "for vectorized kernels)",
+            )
+        out = np.empty(n, dtype=np.float64)
+        for i in range(n):
+            out[i] = self(X[i])
+        return out
 
     def evaluate_with_record(self, x) -> tuple[float, ExecutionRecord]:
         """Evaluate and also return the full execution record.

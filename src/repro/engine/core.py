@@ -110,6 +110,8 @@ class SearchEngine:
             deadline=deadline,
             eval_profile=config.eval_profile,
             memoize=config.memoize,
+            batch_starts=config.batch_starts,
+            proposal_population=config.proposal_population,
         )
 
         inputs: list[tuple[float, ...]] = []

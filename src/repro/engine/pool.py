@@ -32,6 +32,7 @@ from repro.engine.worker import (
     StartResult,
     StartTask,
     origin_is_picklable,
+    prime_chunk,
     run_chunk_in_worker,
     run_start,
 )
@@ -167,21 +168,38 @@ class StartPool:
         stream each chunk's results as its future completes.
         """
         if self.mode == "serial":
+            # Chunk priming (one batched kernel call over the batch's start
+            # vectors) happens here, inside the generator, so an abandoned
+            # iterator never pays for it.  A consumer that stops early wastes
+            # the primed tail values, but they are vectorized lanes, not
+            # scalar program executions.
+            primed = prime_chunk(self.program, params, tasks)
             for task in tasks:
-                yield run_start(self.program, params, task)
+                yield run_start(
+                    self.program,
+                    params,
+                    task,
+                    primed=None if primed is None else primed.get(task.index),
+                )
             return
         chunks = chunk_evenly(tasks, self.n_workers)
         if self.mode == "process":
+            # Process workers prime inside run_chunk_in_worker, against the
+            # per-process program instance.
             futures = [
                 self._executor.submit(run_chunk_in_worker, self.program.origin, params, chunk)
                 for chunk in chunks
             ]
         else:
+            def run_chunk_on_clone(prog, ch):
+                primed = prime_chunk(prog, params, ch)
+                if primed is None:
+                    return [run_start(prog, params, t) for t in ch]
+                return [run_start(prog, params, t, primed=primed.get(t.index)) for t in ch]
+
             futures = [
                 self._executor.submit(
-                    lambda prog, ch: [run_start(prog, params, t) for t in ch],
-                    self._clones[i % len(self._clones)],
-                    chunk,
+                    run_chunk_on_clone, self._clones[i % len(self._clones)], chunk
                 )
                 for i, chunk in enumerate(chunks)
             ]

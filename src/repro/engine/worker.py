@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.core.representing import RepresentingFunction
 from repro.core.saturation import SaturationTracker
+from repro.instrument.batch import numpy_available as batch_numpy_available
 from repro.instrument.program import InstrumentedProgram, ProgramOrigin, instrument
 from repro.instrument.runtime import BranchId, ExecutionProfile
 from repro.optimize.memo import BitPatternMemo
@@ -69,6 +70,8 @@ class StartParams:
     deadline: Optional[float] = None
     eval_profile: str = ExecutionProfile.PENALTY_ONLY.value
     memoize: bool = True
+    batch_starts: bool = True
+    proposal_population: int = 1
 
 
 @dataclass(frozen=True)
@@ -100,8 +103,55 @@ class StartResult:
         return cls(index=task.index, x0=task.x0, x_star=task.x0, value=float("inf"), skipped=True)
 
 
-def run_start(program: InstrumentedProgram, params: StartParams, task: StartTask) -> StartResult:
-    """Execute one start against ``task``'s saturation snapshot."""
+def prime_chunk(
+    program: InstrumentedProgram, params: StartParams, tasks: list[StartTask]
+) -> Optional[dict[int, float]]:
+    """One batched first-evaluation pass over a chunk's start vectors.
+
+    Under the specialized profile (numpy available, memo on) the chunk's
+    ``x0`` vectors go through a single
+    :class:`~repro.instrument.batch.BatchKernel` call; the resulting values
+    seed each start's memo, so the optimizer's opening evaluation at ``x0``
+    is a cache hit instead of a scalar program execution.  Returns
+    ``{task.index: r}`` for the primed tasks, or ``None`` when priming does
+    not apply.  Only tasks sharing the first task's saturation snapshot are
+    primed (batches always do; a defensive guard for hand-built chunks), so
+    the planted values are exactly what each start's own representing
+    function would compute and seeded trajectories are unchanged.
+    """
+    if not (params.memoize and params.batch_starts) or len(tasks) < 2:
+        return None
+    if ExecutionProfile(params.eval_profile) is not ExecutionProfile.PENALTY_SPECIALIZED:
+        return None
+    if not batch_numpy_available():
+        return None
+    if params.deadline is not None and time.time() >= params.deadline:
+        return None
+    covered, infeasible = tasks[0].covered, tasks[0].infeasible
+    eligible = [t for t in tasks if t.covered == covered and t.infeasible == infeasible]
+    if len(eligible) < 2:
+        return None
+    tracker = SaturationTracker(program, covered=set(covered), infeasible=set(infeasible))
+    representing = RepresentingFunction(
+        program, tracker, epsilon=params.epsilon, profile=params.eval_profile
+    )
+    X = np.ascontiguousarray([t.x0 for t in eligible], dtype=np.float64)
+    values = representing.evaluate_batch(X)
+    return {t.index: float(v) for t, v in zip(eligible, values)}
+
+
+def run_start(
+    program: InstrumentedProgram,
+    params: StartParams,
+    task: StartTask,
+    primed: Optional[float] = None,
+) -> StartResult:
+    """Execute one start against ``task``'s saturation snapshot.
+
+    ``primed`` is the pre-computed ``FOO_R(x0)`` from :func:`prime_chunk`;
+    when present (memo on) it is planted in the memo and one evaluation is
+    credited, so the reported evaluation count matches the unprimed run.
+    """
     if params.deadline is not None and time.time() >= params.deadline:
         return StartResult.deadline_skip(task)
 
@@ -123,6 +173,12 @@ def run_start(program: InstrumentedProgram, params: StartParams, task: StartTask
     objective = (
         BitPatternMemo(representing, arity=program.arity) if params.memoize else representing
     )
+    if primed is not None and params.memoize:
+        # The batched pass already executed FOO_R(x0); plant the value and
+        # credit the execution so ``evaluations`` is identical to the
+        # scalar path (where the optimizer's opening call is a memo miss).
+        objective.seed(task.x0, primed)
+        representing.evaluations += 1
     rng = np.random.default_rng([params.root_seed, _STREAM_WORKER, task.index])
     found: dict[str, np.ndarray] = {}
 
@@ -133,6 +189,11 @@ def run_start(program: InstrumentedProgram, params: StartParams, task: StartTask
         return False
 
     backend = get_backend(params.backend)
+    extra_kwargs = {}
+    if params.proposal_population != 1:
+        # Passed only when non-default so third-party registered backends
+        # without the parameter keep working at the default setting.
+        extra_kwargs["proposal_population"] = params.proposal_population
     result = backend(
         objective,
         np.asarray(task.x0, dtype=float),
@@ -143,6 +204,7 @@ def run_start(program: InstrumentedProgram, params: StartParams, task: StartTask
         rng=rng,
         callback=callback,
         local_options={"max_iterations": params.local_max_iterations},
+        **extra_kwargs,
     )
     x_star = found["x"] if "x" in found else result.x
     value, coverage = representing.evaluate_with_coverage(x_star)
@@ -186,7 +248,10 @@ def run_chunk_in_worker(
             signature=origin.signature,
         )
         _PROGRAM_CACHE[key] = program
-    return [run_start(program, params, task) for task in tasks]
+    primed = prime_chunk(program, params, tasks)
+    if primed is None:
+        return [run_start(program, params, task) for task in tasks]
+    return [run_start(program, params, task, primed=primed.get(task.index)) for task in tasks]
 
 
 def origin_is_picklable(origin: Optional[ProgramOrigin]) -> bool:

@@ -87,11 +87,13 @@ TOOL_FACTORIES: dict[str, Callable[[Profile], object]] = {
 #: label (two profiles with the same values are the same work), ``max_cases``
 #: selects *which* jobs run, and the engine guarantees seeded results are
 #: identical for every worker count.
-_PROFILE_FP_EXCLUDE = frozenset({"name", "max_cases", "n_workers"})
+_PROFILE_FP_EXCLUDE = frozenset({"name", "max_cases", "n_workers", "eval_profile", "batch_starts"})
 
 #: Tool state excluded from fingerprints: mutable run-to-run scratch, and
 #: CoverMe knobs the engine guarantees are result-neutral.
-_TOOL_FP_EXCLUDE = frozenset({"last_evaluations", "n_workers", "worker_mode", "verbose"})
+_TOOL_FP_EXCLUDE = frozenset(
+    {"last_evaluations", "n_workers", "worker_mode", "verbose", "batch_starts"}
+)
 
 
 def profile_fingerprint(profile: Profile) -> str:

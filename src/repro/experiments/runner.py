@@ -43,6 +43,9 @@ class Profile:
     seed: int = 0
     n_workers: int = 1
     start_strategy: str = "random-normal"
+    eval_profile: str = "penalty"
+    batch_starts: bool = True
+    proposal_population: int = 1
 
     def coverme_config(self) -> CoverMeConfig:
         return CoverMeConfig(
@@ -53,6 +56,9 @@ class Profile:
             time_budget=self.coverme_time_budget,
             n_workers=self.n_workers,
             start_strategy=self.start_strategy,
+            eval_profile=self.eval_profile,
+            batch_starts=self.batch_starts,
+            proposal_population=self.proposal_population,
         )
 
 

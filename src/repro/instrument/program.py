@@ -45,6 +45,12 @@ from repro.instrument.runtime import (
     Runtime,
     RuntimeHandle,
 )
+from repro.instrument.batch import (
+    BatchKernel,
+    batched_cache_info,
+    build_batch_kernel,
+    clear_batched_cache,
+)
 from repro.instrument.signature import ProgramSignature
 from repro.instrument.specialize import (
     COV_NAME,
@@ -98,20 +104,24 @@ def compiled_cache_info() -> dict:
 
     The top-level ``entries``/``max_entries`` keys describe the generic
     compiled-unit cache (backwards compatible); ``specialized`` nests the
-    per-mask specialization cache's size and hit/miss/evict counters.
+    per-mask specialization cache's size and hit/miss/evict counters, and
+    ``batched`` nests the batched-kernel plan cache's.
     """
     return {
         "entries": len(_CODE_CACHE),
         "max_entries": _CODE_CACHE_MAX,
         "specialized": specialized_cache_info(),
+        "batched": batched_cache_info(),
     }
 
 
 def clear_compiled_cache() -> None:
-    """Drop every cached compiled unit and specialization (primarily for tests)."""
+    """Drop every cached compiled unit, specialization and batched kernel
+    plan (primarily for tests)."""
     with _CODE_CACHE_LOCK:
         _CODE_CACHE.clear()
     clear_specialized_cache()
+    clear_batched_cache()
 
 
 def _compiled_unit(source: str, function_name: str, start_label: int) -> CompiledUnit:
@@ -145,6 +155,9 @@ def _compiled_unit(source: str, function_name: str, start_label: int) -> Compile
 #: monotonically within one search, so live masks are few; the FIFO bound only
 #: protects pathological callers cycling through many masks.
 _VARIANTS_MAX = 64
+
+#: Bound on cached batched kernels per program instance (same rationale).
+_BATCH_KERNELS_MAX = 64
 
 
 class SpecializedVariant:
@@ -243,7 +256,9 @@ class InstrumentedProgram:
     origin: Optional[ProgramOrigin] = field(repr=False, default=None)
     units: tuple[tuple[str, str, int], ...] = field(repr=False, default=())
     specialization_builds: int = field(default=0, repr=False)
+    batched_kernel_builds: int = field(default=0, repr=False)
     _variants: dict = field(default_factory=dict, repr=False)
+    _batch_kernels: dict = field(default_factory=dict, repr=False)
 
     @property
     def arity(self) -> int:
@@ -399,6 +414,33 @@ class InstrumentedProgram:
             self._variants.pop(next(iter(self._variants)))
         self._variants[key] = variant
         return variant
+
+    def batch_kernel(
+        self, saturated_mask: int, epsilon: float = DEFAULT_EPSILON
+    ) -> BatchKernel:
+        """The batched kernel of this program for ``saturated_mask``.
+
+        Kernels join the per-program variant cache with the same
+        epoch/re-specialization protocol as :meth:`specialize`: re-requesting
+        a mask an epoch already used is a dictionary lookup, and the plan
+        compile behind a new mask is memoized module-wide.
+        ``batched_kernel_builds`` counts true kernel constructions.
+        """
+        if not self.units:
+            raise InstrumentationError(
+                f"program {self.name!r} carries no source units and cannot be batched"
+            )
+        mask = saturated_mask & ((1 << (2 * self.n_conditionals)) - 1)
+        key = (mask, epsilon)
+        kernel = self._batch_kernels.get(key)
+        if kernel is not None:
+            return kernel
+        kernel = build_batch_kernel(self, mask, epsilon)
+        self.batched_kernel_builds += 1
+        while len(self._batch_kernels) >= _BATCH_KERNELS_MAX:
+            self._batch_kernels.pop(next(iter(self._batch_kernels)))
+        self._batch_kernels[key] = kernel
+        return kernel
 
     def run_specialized(
         self,

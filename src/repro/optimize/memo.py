@@ -89,6 +89,83 @@ class BitPatternMemo:
         cache[key] = value
         return value
 
+    # -- batch APIs -----------------------------------------------------------------
+    #
+    # The engine's batched tier submits whole (N, arity) float64 arrays.  For
+    # a C-contiguous float64 row, ``row.tobytes()`` is byte-for-byte the same
+    # key as ``struct.pack(f"={arity}d", *row)``, so batch and scalar lookups
+    # share one cache without N struct.pack calls.
+
+    def seed(self, x, value) -> None:
+        """Insert a known value for ``x`` without calling the objective.
+
+        Used by chunk priming: the engine computes a whole batch of first
+        evaluations with one kernel call and plants them here so each
+        start's optimizer opens on a cache hit.  Counts neither a hit nor a
+        miss (the caller accounts for the batched execution itself).
+        """
+        try:
+            key = self._pack(*x)
+        except (TypeError, struct.error):
+            return
+        cache = self._cache
+        if key not in cache and len(cache) >= self.max_entries:
+            del cache[next(iter(cache))]
+            self.evictions += 1
+        cache[key] = float(value)
+
+    def row_keys(self, X) -> list[bytes]:
+        """Bit-pattern keys for every row of a C-contiguous float64 array."""
+        width = 8 * self.arity
+        raw = memoryview(X.tobytes() if hasattr(X, "tobytes") else bytes(X))
+        return [bytes(raw[i : i + width]) for i in range(0, len(raw), width)]
+
+    def get_many(self, X) -> tuple[list, list[int]]:
+        """Probe the cache for every row of ``X``.
+
+        Returns ``(values, miss_indices)`` where ``values[i]`` is the cached
+        value for row ``i`` or ``None``, and ``miss_indices`` lists the rows
+        that must be evaluated.  Counts one hit per served row.
+        """
+        cache = self._cache
+        values: list = []
+        misses: list[int] = []
+        for i, key in enumerate(self.row_keys(X)):
+            value = cache.get(key)
+            if value is None:
+                misses.append(i)
+            else:
+                self.hits += 1
+            values.append(value)
+        return values, misses
+
+    def put_many(self, X, indices, results) -> None:
+        """Insert ``results[j]`` for row ``indices[j]`` of ``X`` (FIFO-bounded)."""
+        cache = self._cache
+        keys = self.row_keys(X)
+        for j, i in enumerate(indices):
+            self.misses += 1
+            if len(cache) >= self.max_entries:
+                del cache[next(iter(cache))]
+                self.evictions += 1
+            cache[keys[i]] = float(results[j])
+
+    def evaluate_batch(self, X):
+        """Batched objective: served rows come from the cache, the rest from
+        one ``func.evaluate_batch`` call (falling back to per-row ``func``
+        calls when the wrapped objective has no batch path)."""
+        values, miss_indices = self.get_many(X)
+        if miss_indices:
+            batch = getattr(self.func, "evaluate_batch", None)
+            if batch is not None:
+                fresh = batch(X[miss_indices])
+            else:
+                fresh = [self.func(X[i]) for i in miss_indices]
+            self.put_many(X, miss_indices, fresh)
+            for j, i in enumerate(miss_indices):
+                values[i] = float(fresh[j])
+        return values
+
     def stats(self) -> dict[str, int]:
         """Hit/miss/evict counters plus the current and maximum size."""
         return {
