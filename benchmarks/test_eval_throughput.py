@@ -11,6 +11,12 @@ branch-dense Fdlibm functions and asserts the runtime guarantees:
 * the compile-time ``PENALTY_SPECIALIZED`` tier is at least 6x faster than
   ``FULL_TRACE`` *and* at least 1.5x faster than ``PENALTY_ONLY`` -- the
   specializer must beat the fast runtime it replaces, not just the recorder;
+* the machine-code ``PENALTY_NATIVE`` tier is at least 1.2x faster than the
+  batched kernel overall and at least 2x on rows-mode programs (loops,
+  helpers) at 1024-row batches -- those are the programs vectorization gains
+  nothing, so the native tier must carry them (the gate self-skips when no C
+  compiler is present; ``REPRO_FORCE_NATIVE_BENCH=1`` forces it, e.g. in CI
+  where a toolchain is guaranteed);
 * all profiles compute bit-identical objective values;
 * the epoch protocol compiles exactly one variant per (mask, epsilon) and
   performs zero re-specializations while the saturation mask is unchanged.
@@ -36,6 +42,7 @@ from repro.core.saturation import SaturationTracker
 from repro.experiments.runner import instrument_case
 from repro.fdlibm.suite import BENCHMARKS
 from repro.instrument.batch import numpy_available as batch_numpy_available
+from repro.instrument.native.cache import cc_available
 from repro.instrument.runtime import ExecutionProfile, Runtime
 
 #: Branch-dense workload: functions whose conditionals (not their arithmetic)
@@ -53,6 +60,8 @@ TARGET_SPEEDUP = 3.0
 SPECIALIZED_TARGET_SPEEDUP = 6.0
 SPECIALIZED_VS_PENALTY_TARGET = 1.5
 BATCHED_VS_SPECIALIZED_TARGET = 2.0
+NATIVE_VS_BATCHED_TARGET = 1.2
+NATIVE_VS_BATCHED_ROWS_TARGET = 2.0
 POINTS = 150
 #: Rows per batched-kernel call when timing the batched tier.  Vectorized
 #: evaluation amortizes numpy's per-op dispatch over the whole batch, so its
@@ -131,6 +140,34 @@ def _batched_throughput(program, tracker, points) -> tuple[float, list[float], s
     return BATCH_POINTS / best, [float(v) for v in values], mode
 
 
+def _native_batched_throughput(program, tracker, points) -> tuple[float, list[float]]:
+    """The native kernel over the same 1024-row batch as the batched tier.
+
+    Asserts along the way that the native tier actually served (zero
+    degradations to the batched kernel) and followed the epoch protocol
+    (one kernel build for the unchanged mask).
+    """
+    representing = RepresentingFunction(
+        program, tracker, profile=ExecutionProfile.PENALTY_NATIVE
+    )
+    X = np.ascontiguousarray(points, dtype=np.float64)
+    values = representing.evaluate_batch(X)  # bit-identity capture + warm-up
+    X_large = np.ascontiguousarray(
+        np.random.default_rng(11).normal(scale=10.0, size=(BATCH_POINTS, program.arity))
+    )
+    representing.evaluate_batch(X_large)
+    best = float("inf")
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        representing.evaluate_batch(X_large)
+        best = min(best, time.perf_counter() - started)
+    assert representing.native_respecializations == 1
+    assert representing.batch_respecializations == 0, (
+        "native tier degraded to the batched kernel during the bench"
+    )
+    return BATCH_POINTS / best, [float(v) for v in values]
+
+
 def _geomean(ratios: list[float]) -> float:
     return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
 
@@ -144,7 +181,11 @@ def test_eval_throughput_and_profile_equivalence(bench_report_dir):
     specialized_ratios = []
     specialized_vs_penalty = []
     batched_vs_specialized = []
+    native_vs_batched = []
+    native_vs_batched_rows = []
     batched_available = batch_numpy_available()
+    force_native = os.environ.get("REPRO_FORCE_NATIVE_BENCH") == "1"
+    native_available = batched_available and (cc_available() or force_native)
     for name, case in cases:
         program, tracker, points = _prepared(case)
         rates: dict[str, float] = {}
@@ -186,11 +227,28 @@ def test_eval_throughput_and_profile_equivalence(bench_report_dir):
             per_function[name]["batched_mode"] = batched_mode
             per_function[name]["batched_vs_specialized"] = batched_rate / specialized_rate
             batched_vs_specialized.append(batched_rate / specialized_rate)
+            if native_available:
+                native_rate, native_values = _native_batched_throughput(
+                    program, tracker, points
+                )
+                assert native_values == reference, (
+                    f"{name}: native diverges from full-trace"
+                )
+                native_ratio = native_rate / batched_rate
+                per_function[name]["penalty-native-batch"] = native_rate
+                per_function[name]["native_vs_batched"] = native_ratio
+                native_vs_batched.append(native_ratio)
+                if batched_mode == "rows":
+                    native_vs_batched_rows.append(native_ratio)
 
     geomean = _geomean(ratios)
     specialized_geomean = _geomean(specialized_ratios)
     specialized_vs_penalty_geomean = _geomean(specialized_vs_penalty)
     batched_geomean = _geomean(batched_vs_specialized) if batched_vs_specialized else None
+    native_geomean = _geomean(native_vs_batched) if native_vs_batched else None
+    native_rows_geomean = (
+        _geomean(native_vs_batched_rows) if native_vs_batched_rows else None
+    )
     report = {
         "workload": [name for name, _ in cases],
         "points_per_function": POINTS * (REPEATS + 1),
@@ -200,10 +258,15 @@ def test_eval_throughput_and_profile_equivalence(bench_report_dir):
         "specialized_vs_penalty_geomean": specialized_vs_penalty_geomean,
         "batched_vs_specialized_geomean": batched_geomean,
         "batched_available": batched_available,
+        "native_vs_batched_geomean": native_geomean,
+        "native_vs_batched_rows_geomean": native_rows_geomean,
+        "native_available": native_available,
         "target_speedup": TARGET_SPEEDUP,
         "specialized_target_speedup": SPECIALIZED_TARGET_SPEEDUP,
         "specialized_vs_penalty_target": SPECIALIZED_VS_PENALTY_TARGET,
         "batched_target_speedup": BATCHED_VS_SPECIALIZED_TARGET,
+        "native_target_speedup": NATIVE_VS_BATCHED_TARGET,
+        "native_rows_target_speedup": NATIVE_VS_BATCHED_ROWS_TARGET,
     }
     payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
     (bench_report_dir / "BENCH_eval_throughput.json").write_text(payload)
@@ -220,6 +283,17 @@ def test_eval_throughput_and_profile_equivalence(bench_report_dir):
             f"batched vs specialized: geomean {batched_geomean:.2f}x "
             f"over {len(batched_vs_specialized)} functions"
         )
+    if native_geomean is not None:
+        rows_note = (
+            f" (rows-mode: {native_rows_geomean:.2f}x over "
+            f"{len(native_vs_batched_rows)})"
+            if native_rows_geomean is not None
+            else ""
+        )
+        print(
+            f"native vs batched: geomean {native_geomean:.2f}x "
+            f"over {len(native_vs_batched)} functions{rows_note}"
+        )
     for name, stats in per_function.items():
         batched_note = ""
         if "penalty-batched" in stats:
@@ -227,6 +301,11 @@ def test_eval_throughput_and_profile_equivalence(bench_report_dir):
                 f"batched {stats['penalty-batched']:>11,.0f}/s "
                 f"[{stats['batched_mode']}] {stats['batched_vs_specialized']:.2f}x  "
             )
+        if "penalty-native-batch" in stats:
+            batched_note = (
+                f"native {stats['penalty-native-batch']:>12,.0f}/s "
+                f"{stats['native_vs_batched']:.2f}x  "
+            ) + batched_note
         print(
             f"  {name:20s} {batched_note}"
             f"specialized {stats['penalty-specialized']:>10,.0f}/s  "
@@ -253,6 +332,22 @@ def test_eval_throughput_and_profile_equivalence(bench_report_dir):
         assert batched_geomean >= BATCHED_VS_SPECIALIZED_TARGET, (
             f"expected >= {BATCHED_VS_SPECIALIZED_TARGET}x batched vs scalar specialized, "
             f"measured {batched_geomean:.2f}x"
+        )
+    if native_geomean is None:
+        # No C compiler on this runner (and the run was not forced): the
+        # native tier degraded to the batched kernel by design.  CI sets
+        # REPRO_FORCE_NATIVE_BENCH=1 so the gate cannot silently vanish
+        # where a toolchain is guaranteed.
+        print("native gate skipped: no C compiler (set REPRO_FORCE_NATIVE_BENCH=1 to force)")
+    else:
+        assert native_geomean >= NATIVE_VS_BATCHED_TARGET, (
+            f"expected >= {NATIVE_VS_BATCHED_TARGET}x native vs batched overall, "
+            f"measured {native_geomean:.2f}x"
+        )
+        assert native_rows_geomean is not None, "workload lost its rows-mode functions"
+        assert native_rows_geomean >= NATIVE_VS_BATCHED_ROWS_TARGET, (
+            f"expected >= {NATIVE_VS_BATCHED_ROWS_TARGET}x native vs batched on "
+            f"rows-mode programs, measured {native_rows_geomean:.2f}x"
         )
 
 

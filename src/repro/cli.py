@@ -119,6 +119,14 @@ def build_parser() -> argparse.ArgumentParser:
     clean_p = sub.add_parser("clean", help="drop every record from a run store")
     add_store_arg(clean_p)
 
+    native_p = sub.add_parser(
+        "native-cache",
+        help="inspect or clean the on-disk native-kernel (.so) cache",
+    )
+    native_sub = native_p.add_subparsers(dest="native_command", required=True)
+    native_sub.add_parser("ls", help="list cached native kernels, newest first")
+    native_sub.add_parser("clean", help="remove every cached native kernel")
+
     return parser
 
 
@@ -248,6 +256,32 @@ def _clean(args) -> int:
     return 0
 
 
+def _native_cache(args) -> int:
+    from repro.instrument.native.cache import (
+        native_cache_dir,
+        native_cache_entries,
+        native_clean_disk_cache,
+    )
+
+    directory = native_cache_dir()
+    if args.native_command == "clean":
+        removed = native_clean_disk_cache()
+        print(f"native cache {directory}: removed {removed} kernels")
+        return 0
+    entries = native_cache_entries()
+    if not entries:
+        print(f"native cache {directory}: empty")
+        return 0
+    print(f"native cache {directory}: {len(entries)} kernels")
+    print(f"{'digest':<18s}{'size':>10s}  source")
+    for entry in entries:
+        print(
+            f"{entry['digest'][:16]:<18s}{entry['size']:>10d}  "
+            f"{'yes' if entry['has_source'] else 'no'}"
+        )
+    return 0
+
+
 def deprecated_main(spec_name: str, argv: Optional[list[str]] = None) -> int:
     """Shared shim behind the legacy ``python -m repro.experiments.<spec>``
     entry points: warn, then delegate to ``repro run <spec>``.  Without an
@@ -281,6 +315,8 @@ def main(argv: Optional[list[str]] = None) -> int:
             return _ls(args)
         if args.command == "clean":
             return _clean(args)
+        if args.command == "native-cache":
+            return _native_cache(args)
     except SchemaVersionError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -62,6 +62,10 @@ class CoverMeConfig:
             Must not depend on ``n_workers`` or seeded runs lose their
             worker-count independence.
         eval_profile: Execution profile of the optimizer inner loop --
+            ``"penalty-native"`` (the machine-code tier: the specialized
+            lowering is emitted as C, compiled with the system ``cc`` and
+            called through ctypes; degrades to ``penalty-specialized`` with
+            a one-time warning when no compiler is present),
             ``"penalty-specialized"`` (the compile-time tier: the saturation
             mask is baked into re-generated instrumented source, re-compiled
             only when saturation flips a bit), ``"penalty"`` (allocation-free

@@ -25,7 +25,13 @@ is re-compiled with the saturation mask resolved per probe site
 protocol* -- the compiled variant is reused verbatim while the tracker's
 ``saturated_mask`` is unchanged and transparently re-specialized (a cached
 lookup when the mask was seen before) only when saturation actually flips a
-bit.  All profiles compute bit-identical values; callers that need coverage
+bit.  ``PENALTY_NATIVE`` applies the same protocol to machine code: the
+specialized lowering is compiled to a shared object
+(:mod:`repro.instrument.native`) and both ``__call__`` and
+``evaluate_batch`` dispatch to it, degrading to ``PENALTY_SPECIALIZED``
+with a one-time per-instance warning when no C compiler is present or the
+program cannot be emitted.  All profiles compute bit-identical values;
+callers that need coverage
 from a specific point (e.g. an accepted minimum) re-execute it via
 :meth:`RepresentingFunction.evaluate_with_coverage`, which under the
 specialized tier runs the generic fast runtime so the coverage outcome stays
@@ -35,6 +41,7 @@ complete and identical across profiles.
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Optional, Sequence
 
 import numpy as np
@@ -43,7 +50,7 @@ from repro.core.branch_distance import DEFAULT_EPSILON
 from repro.core.pen import CoverMePenalty
 from repro.core.saturation import SaturationTracker
 from repro.instrument.batch import numpy_available as _batch_numpy_available
-from repro.instrument.batch import warn_once as _warn_once
+from repro.instrument.native.cache import NativeUnavailable
 from repro.instrument.program import InstrumentedProgram
 from repro.instrument.runtime import (
     CoverageOutcome,
@@ -91,8 +98,21 @@ class RepresentingFunction:
         self._batch_kernel = None
         self.batch_respecializations = 0
         self.batched_calls = 0
+        # Native-kernel epoch state.  ``_native_ok`` latches False on the
+        # first NativeUnavailable (no compiler, non-emittable program): the
+        # instance degrades to the scalar specialized tier permanently, with
+        # one warning.  Warn-once bookkeeping is per-instance so a fresh
+        # RepresentingFunction (or a cleared cache) warns again.
+        self._native_kernel = None
+        self.native_respecializations = 0
+        self._native_ok = True
+        self._warned: set[str] = set()
         self._arity = program.arity
-        self._specialized = self.profile is ExecutionProfile.PENALTY_SPECIALIZED
+        self._native = self.profile is ExecutionProfile.PENALTY_NATIVE
+        self._specialized = self.profile in (
+            ExecutionProfile.PENALTY_SPECIALIZED,
+            ExecutionProfile.PENALTY_NATIVE,
+        )
         if self.profile is ExecutionProfile.FULL_TRACE:
             self._fast: Optional[FastRuntime] = None
             self._runtime = Runtime(policy=CoverMePenalty(self.tracker, epsilon), epsilon=epsilon)
@@ -114,14 +134,23 @@ class RepresentingFunction:
             # Specialized tier: re-read the mask every call (like the fast
             # profiles resynchronize at begin()), but only touch the compiler
             # when saturation actually flipped a bit.  Mid-epoch calls are a
-            # single int comparison away from the compiled variant.
+            # single int comparison away from the compiled variant (or the
+            # loaded machine-code kernel under the native tier).
             mask = self.tracker.saturated_mask
-            variant = self._variant
-            if variant is None or variant.saturated_mask != mask:
-                variant = self.program.specialize(mask, self.epsilon)
-                self._variant = variant
-                self.respecializations += 1
-            _, r = variant.run(args)
+            r = None
+            if self._native and self._native_ok:
+                kernel = self._native_kernel
+                if kernel is None or kernel.saturated_mask != mask:
+                    kernel = self._native_kernel_for(mask)
+                if kernel is not None:
+                    r, _cov = kernel.scalar(args)
+            if r is None:
+                variant = self._variant
+                if variant is None or variant.saturated_mask != mask:
+                    variant = self.program.specialize(mask, self.epsilon)
+                    self._variant = variant
+                    self.respecializations += 1
+                _, r = variant.run(args)
             self.last_record = None
         elif self._fast is not None:
             r = self._run_fast(args)
@@ -167,11 +196,17 @@ class RepresentingFunction:
             return np.empty(0, dtype=np.float64)
         if self._specialized and _batch_numpy_available():
             mask = self.tracker.saturated_mask
-            kernel = self._batch_kernel
-            if kernel is None or kernel.saturated_mask != mask:
-                kernel = self.program.batch_kernel(mask, self.epsilon)
-                self._batch_kernel = kernel
-                self.batch_respecializations += 1
+            kernel = None
+            if self._native and self._native_ok:
+                kernel = self._native_kernel
+                if kernel is None or kernel.saturated_mask != mask:
+                    kernel = self._native_kernel_for(mask)
+            if kernel is None:
+                kernel = self._batch_kernel
+                if kernel is None or kernel.saturated_mask != mask:
+                    kernel = self.program.batch_kernel(mask, self.epsilon)
+                    self._batch_kernel = kernel
+                    self.batch_respecializations += 1
             raw, _cov = kernel(X)
             out = np.where(np.isfinite(raw), raw, _CLAMP)
             self.evaluations += n
@@ -180,11 +215,11 @@ class RepresentingFunction:
             self.last_value = float(out[-1])
             return out
         if self._specialized:
-            _warn_once(
-                "representing-evaluate-batch-degraded",
+            self._warn_instance(
+                "evaluate-batch-degraded",
                 "numpy is unavailable: evaluate_batch() degrades to per-row "
-                "scalar specialized evaluation (install the [batch] extra "
-                "for vectorized kernels)",
+                "scalar evaluation (install the [batch] extra for vectorized "
+                "kernels)",
             )
         out = np.empty(n, dtype=np.float64)
         for i in range(n):
@@ -246,6 +281,34 @@ class RepresentingFunction:
         return value, self._fast.snapshot()
 
     # -- helpers -------------------------------------------------------------------
+
+    def _native_kernel_for(self, mask):
+        """Fetch/build the native kernel for ``mask``, degrading on failure.
+
+        Returns ``None`` after latching ``_native_ok`` False (and warning
+        once for this instance) when the native tier cannot serve this
+        program; the caller falls through to the scalar specialized tier.
+        """
+        try:
+            kernel = self.program.native_kernel(mask, self.epsilon)
+        except NativeUnavailable as exc:
+            self._native_ok = False
+            self._warn_instance(
+                "native-degraded",
+                f"native tier unavailable ({exc}); degrading to the scalar "
+                "specialized tier",
+            )
+            return None
+        self._native_kernel = kernel
+        self.native_respecializations += 1
+        return kernel
+
+    def _warn_instance(self, key: str, message: str) -> None:
+        """Emit ``message`` at most once per RepresentingFunction instance."""
+        if key in self._warned:
+            return
+        self._warned.add(key)
+        warnings.warn(message, RuntimeWarning, stacklevel=3)
 
     def _run_fast(self, args) -> float:
         """One generic fast-runtime execution against the current mask.

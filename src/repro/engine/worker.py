@@ -121,7 +121,10 @@ def prime_chunk(
     """
     if not (params.memoize and params.batch_starts) or len(tasks) < 2:
         return None
-    if ExecutionProfile(params.eval_profile) is not ExecutionProfile.PENALTY_SPECIALIZED:
+    if ExecutionProfile(params.eval_profile) not in (
+        ExecutionProfile.PENALTY_SPECIALIZED,
+        ExecutionProfile.PENALTY_NATIVE,
+    ):
         return None
     if not batch_numpy_available():
         return None

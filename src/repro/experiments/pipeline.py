@@ -90,9 +90,12 @@ TOOL_FACTORIES: dict[str, Callable[[Profile], object]] = {
 _PROFILE_FP_EXCLUDE = frozenset({"name", "max_cases", "n_workers", "eval_profile", "batch_starts"})
 
 #: Tool state excluded from fingerprints: mutable run-to-run scratch, and
-#: CoverMe knobs the engine guarantees are result-neutral.
+#: CoverMe knobs the engine guarantees are result-neutral (every execution
+#: profile computes bit-identical representing-function values, so
+#: ``eval_profile`` -- like ``n_workers`` -- cannot change stored results).
 _TOOL_FP_EXCLUDE = frozenset(
-    {"last_evaluations", "n_workers", "worker_mode", "verbose", "batch_starts"}
+    {"last_evaluations", "n_workers", "worker_mode", "verbose", "batch_starts",
+     "eval_profile"}
 )
 
 

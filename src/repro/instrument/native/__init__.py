@@ -1,0 +1,55 @@
+"""Native C emission tier (the ``PENALTY_NATIVE`` profile).
+
+This package compiles the same lowered IR + saturation mask the scalar
+specializer (:mod:`repro.instrument.specialize`) and the batched vectorizer
+(:mod:`repro.instrument.batch`) consume down to machine code:
+
+* :mod:`repro.instrument.native.emit` -- the backend-agnostic emitter core.
+  It walks the *specialized* units (probes already resolved against the mask)
+  into a small typed IR with explicit float64/int64 semantics, spelling out
+  everything CPython does implicitly: fdlibm word intrinsics as uint64
+  bit-casts, int64 wrap-around, guarded truncation, exception-to-freeze
+  semantics and the NaN-per-direction distance constants.
+* :mod:`repro.instrument.native.c_backend` -- the C99 backend.  Renders the
+  IR into a translation unit exposing a scalar entry point and a batch
+  ``for``-loop entry point.
+* :mod:`repro.instrument.native.cache` -- compiler discovery, out-of-process
+  compilation via the system ``cc`` and a content-addressed, FIFO-bounded
+  shared-object cache on disk, loaded with :mod:`ctypes`.
+* :mod:`repro.instrument.native.kernel` -- :class:`NativeKernel`, the
+  runtime object the representing function dispatches to, with a per-row
+  fallback onto the scalar :class:`SpecializedVariant` for inputs the native
+  code cannot replicate bit-exactly (``sp_bail``).
+
+``r`` stays bit-identical to the scalar ``PENALTY_SPECIALIZED`` tier: every
+construct either compiles to arithmetic proven to match CPython's, freezes
+the row exactly where the scalar tier would swallow an exception, or bails
+the row out to the scalar variant.  Machines without a C compiler degrade to
+``PENALTY_SPECIALIZED`` with a one-time warning.
+"""
+
+from repro.instrument.native.cache import (
+    NativeUnavailable,
+    cc_available,
+    native_cache_dir,
+    native_cache_entries,
+    native_clean_disk_cache,
+)
+from repro.instrument.native.kernel import (
+    NativeKernel,
+    build_native_kernel,
+    clear_native_cache,
+    native_cache_info,
+)
+
+__all__ = [
+    "NativeKernel",
+    "NativeUnavailable",
+    "build_native_kernel",
+    "cc_available",
+    "clear_native_cache",
+    "native_cache_dir",
+    "native_cache_entries",
+    "native_cache_info",
+    "native_clean_disk_cache",
+]

@@ -1,0 +1,323 @@
+"""C99 backend: renders the typed native IR into one translation unit.
+
+The generated file exposes two entry points with a fixed ABI:
+
+``int sp_entry(const double *x, double *r_out, uint64_t *cov_out)``
+    One row.  Returns 0 on completion (``r_out``/``cov_out`` valid, frozen
+    rows included) and 1 on a *bail* (the caller re-runs the row on the
+    scalar specialized variant).
+
+``void sp_batch(const double *rows, long long n, double *r_out,
+uint64_t *cov_out, unsigned char *bail_out)``
+    ``n`` rows, row-major, ``arity`` doubles each.  ``cov_out`` receives the
+    union of covered bits over the non-bailed rows; ``bail_out[i]`` flags
+    rows the caller must redo.
+
+All state lives in a per-call context struct passed by pointer, so one
+shared object is safely callable from many threads at once.  Float
+constants render as C99 hex literals for bit-exactness, and the build uses
+``-ffp-contract=off`` so no FMA contraction can change results.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.instrument.native.emit import (
+    ArrRef,
+    Bin,
+    CallE,
+    Cast,
+    Const,
+    FnIR,
+    ProgramIR,
+    SAssign,
+    SBail,
+    SBreak,
+    SCall,
+    SContinue,
+    SCov,
+    SFreeze,
+    SIf,
+    SLoop,
+    SReturn,
+    SSetR,
+    Sel,
+    T_BOOL,
+    T_F64,
+    T_I64,
+    Un,
+    VarRef,
+)
+
+BACKEND_NAME = "c99"
+
+_CTYPES = {T_BOOL: "int", T_I64: "int64_t", T_F64: "double"}
+_CZEROS = {T_BOOL: "0", T_I64: "0", T_F64: "0.0"}
+
+_PRELUDE = r"""
+#include <stdint.h>
+#include <string.h>
+#include <math.h>
+
+typedef struct {
+    double r;
+    uint64_t cov[SP_NWORDS];
+    int status; /* 0 ok, 1 frozen (swallowed exception), 2 bail */
+} SpCtx;
+
+static uint64_t sp_bits(double x) { uint64_t u; memcpy(&u, &x, 8); return u; }
+static double sp_double(uint64_t u) { double x; memcpy(&x, &u, 8); return x; }
+static int64_t sp_high_word(double x) {
+    return (int64_t)(int32_t)(uint32_t)(sp_bits(x) >> 32);
+}
+static int64_t sp_low_word(double x) { return (int64_t)(uint32_t)sp_bits(x); }
+static double sp_from_words(int64_t hi, int64_t lo) {
+    return sp_double((((uint64_t)hi & 0xffffffffULL) << 32)
+                     | ((uint64_t)lo & 0xffffffffULL));
+}
+static double sp_set_high_word(double x, int64_t hi) {
+    return sp_double((sp_bits(x) & 0xffffffffULL)
+                     | (((uint64_t)hi & 0xffffffffULL) << 32));
+}
+static double sp_set_low_word(double x, int64_t lo) {
+    return sp_double((sp_bits(x) & 0xffffffff00000000ULL)
+                     | ((uint64_t)lo & 0xffffffffULL));
+}
+static int sp_isinf(double x) { return x == INFINITY || x == -INFINITY; }
+/* Does the int64 round-trip through double exactly?  (CPython compares and
+   true-divides ints exactly; the native tier bails when rounding differs.) */
+static int sp_i64_exact(int64_t v) {
+    double d = (double)v;
+    if (!(d >= -9223372036854775808.0 && d < 9223372036854775808.0)) return 0;
+    return (int64_t)d == v;
+}
+static int sp_f64_fits_i64(double v) {
+    return v >= -9223372036854775808.0 && v < 9223372036854775808.0;
+}
+/* Portable arithmetic right shift for 0 <= s <= 63. */
+static int64_t sp_sar(int64_t a, int64_t s) {
+    return a < 0 ? (int64_t)~(~(uint64_t)a >> s)
+                 : (int64_t)((uint64_t)a >> s);
+}
+/* Python floor division / modulo (divisor != 0, no int64 overflow). */
+static int64_t sp_ifdiv(int64_t a, int64_t b) {
+    int64_t q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0))) q -= 1;
+    return q;
+}
+static int64_t sp_imod(int64_t a, int64_t b) {
+    int64_t r = a % b;
+    if (r != 0 && ((r < 0) != (b < 0))) r += b;
+    return r;
+}
+static double sp_ldexp(double x, int64_t e) { return ldexp(x, (int)e); }
+"""
+
+
+def _f64_lit(value: float) -> str:
+    if value != value:
+        return "sp_double(0x7ff8000000000000ULL)"
+    if value == math.inf:
+        return "INFINITY"
+    if value == -math.inf:
+        return "(-INFINITY)"
+    if value == 0.0:
+        return "-0.0" if math.copysign(1.0, value) < 0 else "0.0"
+    return value.hex()
+
+
+def _i64_lit(value: int) -> str:
+    if value == -(1 << 63):
+        return "(-9223372036854775807LL - 1)"
+    return f"{value}LL"
+
+
+def _rx(e) -> str:
+    if isinstance(e, Const):
+        if e.type == T_BOOL:
+            return "1" if e.value else "0"
+        if e.type == T_I64:
+            return _i64_lit(int(e.value))
+        return _f64_lit(float(e.value))
+    if isinstance(e, VarRef):
+        return "ctx->r" if e.is_r else e.name
+    if isinstance(e, Bin):
+        a, b = _rx(e.left), _rx(e.right)
+        if e.type == T_I64 and e.op in ("+", "-", "*"):
+            return f"((int64_t)((uint64_t)({a}) {e.op} (uint64_t)({b})))"
+        if e.op == "<<":
+            return f"((int64_t)((uint64_t)({a}) << ({b})))"
+        return f"(({a}) {e.op} ({b}))"
+    if isinstance(e, Un):
+        a = _rx(e.operand)
+        if e.op == "-" and e.type == T_I64:
+            return f"((int64_t)(0 - (uint64_t)({a})))"
+        return f"({e.op}({a}))"
+    if isinstance(e, Cast):
+        return f"(({_CTYPES[e.type]})({_rx(e.operand)}))"
+    if isinstance(e, CallE):
+        return f"{e.fn}({', '.join(_rx(a) for a in e.args)})"
+    if isinstance(e, Sel):
+        return f"(({_rx(e.cond)}) ? ({_rx(e.a)}) : ({_rx(e.b)}))"
+    if isinstance(e, ArrRef):
+        return f"{e.array}[{_rx(e.index)}]"
+    raise TypeError(f"unrenderable IR expression {type(e).__name__}")
+
+
+def _comment(text: str) -> str:
+    return text.replace("*/", "* /").replace("\n", " ")
+
+
+class _FnRenderer:
+    def __init__(self, fn: FnIR, lines: list):
+        self.fn = fn
+        self.lines = lines
+
+    def emit(self, indent: int, text: str) -> None:
+        self.lines.append("    " * indent + text)
+
+    def block(self, stmts, indent: int) -> None:
+        for stmt in stmts:
+            self.stmt(stmt, indent)
+
+    def stmt(self, s, indent: int) -> None:
+        emit = self.emit
+        if isinstance(s, SAssign):
+            emit(indent, f"{_rx(s.var)} = {_rx(s.value)};")
+        elif isinstance(s, SSetR):
+            emit(indent, f"ctx->r = {_rx(s.value)};")
+        elif isinstance(s, SCov):
+            emit(indent, "{")
+            emit(indent + 1, f"int64_t sp_ix = {_rx(s.index)};")
+            emit(indent + 1,
+                 "ctx->cov[(uint64_t)sp_ix >> 6] |= "
+                 "1ULL << ((uint64_t)sp_ix & 63);")
+            emit(indent, "}")
+        elif isinstance(s, SIf):
+            emit(indent, f"if ({_rx(s.cond)}) {{")
+            self.block(s.body, indent + 1)
+            if s.orelse:
+                emit(indent, "} else {")
+                self.block(s.orelse, indent + 1)
+            emit(indent, "}")
+        elif isinstance(s, SLoop):
+            emit(indent, "for (;;) {")
+            self.block(s.body, indent + 1)
+            emit(indent, "}")
+        elif isinstance(s, SBreak):
+            emit(indent, "break;")
+        elif isinstance(s, SContinue):
+            emit(indent, "continue;")
+        elif isinstance(s, SFreeze):
+            emit(indent,
+                 f"{{ ctx->status = 1; return; }} /* {_comment(s.reason)} */")
+        elif isinstance(s, SBail):
+            emit(indent,
+                 f"{{ ctx->status = 2; return; }} /* {_comment(s.reason)} */")
+        elif isinstance(s, SReturn):
+            for index, value in enumerate(s.values):
+                emit(indent, f"*sp_ret{index} = {_rx(value)};")
+            emit(indent, "return;")
+        elif isinstance(s, SCall):
+            args = ["ctx"] + [_rx(a) for a in s.args]
+            args += [f"&{out.name}" for out in s.outs]
+            emit(indent, f"{s.fn}({', '.join(args)});")
+            emit(indent, "if (ctx->status) return;")
+        else:
+            raise TypeError(f"unrenderable IR statement {type(s).__name__}")
+
+
+def _signature(fn: FnIR) -> str:
+    parts = ["SpCtx *ctx"]
+    parts += [f"{_CTYPES[t]} {name}" for name, t in fn.params]
+    parts += [f"{_CTYPES[t]} *sp_ret{i}" for i, t in enumerate(fn.ret_types)]
+    return f"static void {fn.c_name}({', '.join(parts)})"
+
+
+def _render_fn(fn: FnIR, lines: list) -> None:
+    lines.append(_signature(fn) + " {")
+    renderer = _FnRenderer(fn, lines)
+    for name, type_ in fn.local_vars:
+        renderer.emit(1, f"{_CTYPES[type_]} {name} = {_CZEROS[type_]};")
+    renderer.block(fn.body, 1)
+    lines.append("}")
+    lines.append("")
+
+
+def _render_entry_call(ir: ProgramIR, lines: list, indent: str,
+                       row_expr) -> None:
+    for i, t in enumerate(ir.entry.ret_types):
+        lines.append(f"{indent}{_CTYPES[t]} sp_r{i} = {_CZEROS[t]};")
+    args = ["&ctx"]
+    args += [row_expr(k) for k in range(len(ir.entry.params))]
+    args += [f"&sp_r{i}" for i in range(len(ir.entry.ret_types))]
+    lines.append(f"{indent}{ir.entry.c_name}({', '.join(args)});")
+    for i in range(len(ir.entry.ret_types)):
+        lines.append(f"{indent}(void)sp_r{i};")
+
+
+def render_c(ir: ProgramIR) -> str:
+    """Render the whole program IR into one C99 translation unit."""
+    lines = [
+        "/* Generated native penalty kernel; do not edit. */",
+        f"#define SP_NWORDS {ir.n_words}",
+        _PRELUDE,
+    ]
+    for c_name, (elem_type, values) in ir.arrays.items():
+        lits = (
+            ", ".join(_i64_lit(v) for v in values)
+            if elem_type == T_I64
+            else ", ".join(_f64_lit(v) for v in values)
+        )
+        lines.append(
+            f"static const {_CTYPES[elem_type]} "
+            f"{c_name}[{len(values)}] = {{ {lits} }};"
+        )
+    lines.append("")
+    for fn in ir.functions:
+        lines.append(_signature(fn) + ";")
+    lines.append("")
+    for fn in ir.functions:
+        _render_fn(fn, lines)
+    arity = len(ir.entry.params)
+    lines += [
+        "int sp_entry(const double *x, double *r_out, uint64_t *cov_out) {",
+        "    SpCtx ctx;",
+        "    ctx.r = 1.0;",
+        "    memset(ctx.cov, 0, sizeof ctx.cov);",
+        "    ctx.status = 0;",
+    ]
+    _render_entry_call(ir, lines, "    ", lambda k: f"x[{k}]")
+    lines += [
+        "    if (ctx.status == 2) return 1;",
+        "    *r_out = ctx.r;",
+        "    for (int w = 0; w < SP_NWORDS; w++) cov_out[w] = ctx.cov[w];",
+        "    return 0;",
+        "}",
+        "",
+        "void sp_batch(const double *rows, long long n, double *r_out,",
+        "              uint64_t *cov_out, unsigned char *bail_out) {",
+        "    for (int w = 0; w < SP_NWORDS; w++) cov_out[w] = 0;",
+        "    for (long long i = 0; i < n; i++) {",
+        f"        const double *row = rows + i * {arity};",
+        "        SpCtx ctx;",
+        "        ctx.r = 1.0;",
+        "        memset(ctx.cov, 0, sizeof ctx.cov);",
+        "        ctx.status = 0;",
+    ]
+    _render_entry_call(ir, lines, "        ", lambda k: f"row[{k}]")
+    lines += [
+        "        if (ctx.status == 2) {",
+        "            bail_out[i] = 1;",
+        "            r_out[i] = 0.0;",
+        "            continue;",
+        "        }",
+        "        bail_out[i] = 0;",
+        "        r_out[i] = ctx.r;",
+        "        for (int w = 0; w < SP_NWORDS; w++) cov_out[w] |= ctx.cov[w];",
+        "    }",
+        "}",
+        "",
+    ]
+    return "\n".join(lines)

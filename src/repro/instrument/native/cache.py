@@ -1,0 +1,190 @@
+"""Compiler discovery and the content-addressed shared-object cache.
+
+Kernels are compiled out-of-process with the system C compiler into a
+cache directory keyed by a sha256 digest of everything that affects the
+generated code: per-unit ``(source sha256, function, start label)`` triples,
+the saturation mask, epsilon, the backend name, the compiler version and
+the codegen ABI version.  Identical programs under identical masks reuse
+the ``.so`` across processes and sessions; the directory is FIFO-bounded
+by mtime like the in-memory compiled caches.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from pathlib import Path
+
+#: Bump when the emitter/backend changes generated code or the entry ABI.
+ABI_VERSION = 1
+
+#: Upper bound on cached shared objects on disk (each entry keeps its .c
+#: source next to the .so for debuggability).
+DISK_CACHE_MAX = 256
+
+_CFLAGS = ["-O2", "-fPIC", "-shared", "-std=c99", "-ffp-contract=off"]
+
+_CC_LOCK = threading.Lock()
+_CC_STATE: dict = {"probed": False, "cc": None, "version": None}
+
+
+class NativeUnavailable(RuntimeError):
+    """The native tier cannot be used; callers degrade to the scalar tier."""
+
+
+def _probe_cc() -> None:
+    with _CC_LOCK:
+        if _CC_STATE["probed"]:
+            return
+        _CC_STATE["probed"] = True
+        candidates = []
+        env_cc = os.environ.get("REPRO_CC")
+        if env_cc:
+            candidates.append(env_cc)
+        candidates += ["cc", "gcc", "clang"]
+        for candidate in candidates:
+            path = shutil.which(candidate)
+            if path is None:
+                continue
+            try:
+                proc = subprocess.run(
+                    [path, "--version"],
+                    capture_output=True,
+                    text=True,
+                    timeout=20,
+                )
+            except (OSError, subprocess.SubprocessError):
+                continue
+            if proc.returncode == 0 and proc.stdout:
+                _CC_STATE["cc"] = path
+                _CC_STATE["version"] = proc.stdout.splitlines()[0].strip()
+                return
+
+
+def find_cc() -> tuple[str, str]:
+    """Return ``(compiler path, version line)`` or raise NativeUnavailable."""
+    _probe_cc()
+    if _CC_STATE["cc"] is None:
+        raise NativeUnavailable("no C compiler found (cc/gcc/clang)")
+    return _CC_STATE["cc"], _CC_STATE["version"]
+
+
+def cc_available() -> bool:
+    _probe_cc()
+    return _CC_STATE["cc"] is not None
+
+
+def cc_version() -> str | None:
+    _probe_cc()
+    return _CC_STATE["version"]
+
+
+def native_cache_dir() -> Path:
+    """The on-disk kernel cache directory (``REPRO_NATIVE_CACHE`` override)."""
+    override = os.environ.get("REPRO_NATIVE_CACHE")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "native-kernels"
+
+
+def _prune_disk_cache(directory: Path) -> int:
+    """FIFO-by-mtime bound on the number of cached kernels."""
+    sos = sorted(directory.glob("*.so"), key=lambda p: p.stat().st_mtime)
+    evicted = 0
+    while len(sos) - evicted > DISK_CACHE_MAX:
+        victim = sos[evicted]
+        evicted += 1
+        for path in (victim, victim.with_suffix(".c")):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+    return evicted
+
+
+def compile_kernel(c_source: str, digest: str) -> Path:
+    """Compile ``c_source`` into ``<digest>.so``, reusing a cached build.
+
+    The write is atomic (temp file + rename), so concurrent builders of the
+    same digest race benignly."""
+    cc, _version = find_cc()
+    directory = native_cache_dir()
+    so_path = directory / f"{digest}.so"
+    if so_path.exists():
+        return so_path
+    directory.mkdir(parents=True, exist_ok=True)
+    c_path = directory / f"{digest}.c"
+    tmp_c = directory / f".{digest}.{os.getpid()}.c"
+    tmp_c.write_text(c_source)
+    fd, tmp_so = tempfile.mkstemp(suffix=".so", prefix=f".{digest}.",
+                                  dir=str(directory))
+    os.close(fd)
+    try:
+        proc = subprocess.run(
+            [cc, *_CFLAGS, "-o", tmp_so, str(tmp_c), "-lm"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+    except (OSError, subprocess.SubprocessError) as exc:
+        _cleanup(tmp_c, tmp_so)
+        raise NativeUnavailable(f"compiler invocation failed: {exc}") from exc
+    if proc.returncode != 0:
+        tail = "\n".join(proc.stderr.strip().splitlines()[-8:])
+        _cleanup(tmp_c, tmp_so)
+        raise NativeUnavailable(f"compilation failed:\n{tail}")
+    os.replace(tmp_c, c_path)
+    os.replace(tmp_so, so_path)
+    _prune_disk_cache(directory)
+    return so_path
+
+
+def _cleanup(*paths) -> None:
+    for path in paths:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+def native_cache_entries() -> list[dict]:
+    """Describe the on-disk kernel cache, newest first."""
+    directory = native_cache_dir()
+    if not directory.is_dir():
+        return []
+    entries = []
+    for so_path in sorted(directory.glob("*.so"),
+                          key=lambda p: p.stat().st_mtime, reverse=True):
+        stat = so_path.stat()
+        entries.append({
+            "digest": so_path.stem,
+            "size": stat.st_size,
+            "mtime": stat.st_mtime,
+            "has_source": so_path.with_suffix(".c").exists(),
+        })
+    return entries
+
+
+def native_clean_disk_cache() -> int:
+    """Remove every cached kernel; returns the number of entries removed."""
+    directory = native_cache_dir()
+    if not directory.is_dir():
+        return 0
+    removed = 0
+    for so_path in list(directory.glob("*.so")):
+        _cleanup(so_path, so_path.with_suffix(".c"))
+        removed += 1
+    for stray in list(directory.glob(".*")):
+        _cleanup(stray)
+    return removed
+
+
+def _reset_cc_probe_for_tests() -> None:
+    """Testing hook: force a re-probe (e.g. after patching PATH/REPRO_CC)."""
+    with _CC_LOCK:
+        _CC_STATE.update({"probed": False, "cc": None, "version": None})

@@ -51,6 +51,13 @@ from repro.instrument.batch import (
     build_batch_kernel,
     clear_batched_cache,
 )
+from repro.instrument.native.cache import NativeUnavailable
+from repro.instrument.native.kernel import (
+    NativeKernel,
+    build_native_kernel,
+    clear_native_cache,
+    native_cache_info,
+)
 from repro.instrument.signature import ProgramSignature
 from repro.instrument.specialize import (
     COV_NAME,
@@ -104,24 +111,28 @@ def compiled_cache_info() -> dict:
 
     The top-level ``entries``/``max_entries`` keys describe the generic
     compiled-unit cache (backwards compatible); ``specialized`` nests the
-    per-mask specialization cache's size and hit/miss/evict counters, and
-    ``batched`` nests the batched-kernel plan cache's.
+    per-mask specialization cache's size and hit/miss/evict counters,
+    ``batched`` nests the batched-kernel plan cache's, and ``native`` the
+    loaded native-kernel cache's (plus its disk-cache entry count and the
+    detected compiler version).
     """
     return {
         "entries": len(_CODE_CACHE),
         "max_entries": _CODE_CACHE_MAX,
         "specialized": specialized_cache_info(),
         "batched": batched_cache_info(),
+        "native": native_cache_info(),
     }
 
 
 def clear_compiled_cache() -> None:
-    """Drop every cached compiled unit, specialization and batched kernel
-    plan (primarily for tests)."""
+    """Drop every cached compiled unit, specialization, batched kernel plan
+    and loaded native kernel (primarily for tests)."""
     with _CODE_CACHE_LOCK:
         _CODE_CACHE.clear()
     clear_specialized_cache()
     clear_batched_cache()
+    clear_native_cache()
 
 
 def _compiled_unit(source: str, function_name: str, start_label: int) -> CompiledUnit:
@@ -158,6 +169,9 @@ _VARIANTS_MAX = 64
 
 #: Bound on cached batched kernels per program instance (same rationale).
 _BATCH_KERNELS_MAX = 64
+
+#: Bound on cached native kernels per program instance (same rationale).
+_NATIVE_KERNELS_MAX = 64
 
 
 class SpecializedVariant:
@@ -257,8 +271,10 @@ class InstrumentedProgram:
     units: tuple[tuple[str, str, int], ...] = field(repr=False, default=())
     specialization_builds: int = field(default=0, repr=False)
     batched_kernel_builds: int = field(default=0, repr=False)
+    native_kernel_builds: int = field(default=0, repr=False)
     _variants: dict = field(default_factory=dict, repr=False)
     _batch_kernels: dict = field(default_factory=dict, repr=False)
+    _native_kernels: dict = field(default_factory=dict, repr=False)
 
     @property
     def arity(self) -> int:
@@ -349,6 +365,14 @@ class InstrumentedProgram:
         profile = ExecutionProfile(profile)
         if profile is ExecutionProfile.FULL_TRACE:
             return self.run(args, runtime=runtime)  # type: ignore[arg-type]
+        if profile is ExecutionProfile.PENALTY_NATIVE:
+            if saturated_mask is None:
+                saturated_mask = getattr(runtime, "saturated_mask", 0)
+            return self.run_native(
+                args,
+                saturated_mask,
+                epsilon=getattr(runtime, "epsilon", DEFAULT_EPSILON),
+            )
         if profile is ExecutionProfile.PENALTY_SPECIALIZED:
             if saturated_mask is None:
                 saturated_mask = getattr(runtime, "saturated_mask", 0)
@@ -442,6 +466,38 @@ class InstrumentedProgram:
         self._batch_kernels[key] = kernel
         return kernel
 
+    def native_kernel(
+        self, saturated_mask: int, epsilon: float = DEFAULT_EPSILON
+    ) -> NativeKernel:
+        """The compiled-to-machine-code kernel of this program for
+        ``saturated_mask``.
+
+        Kernels join the per-program variant cache with the same
+        epoch/re-specialization protocol as :meth:`specialize` and
+        :meth:`batch_kernel`; the out-of-process ``cc`` compile behind a new
+        mask is content-addressed on disk and memoized module-wide.
+        ``native_kernel_builds`` counts true kernel constructions.  Raises
+        :class:`~repro.instrument.native.cache.NativeUnavailable` when no C
+        compiler is present or the program cannot be emitted; callers
+        degrade to the scalar specialized tier.
+        """
+        if not self.units:
+            raise NativeUnavailable(
+                f"program {self.name!r} carries no source units and cannot "
+                "be compiled natively"
+            )
+        mask = saturated_mask & ((1 << (2 * self.n_conditionals)) - 1)
+        key = (mask, epsilon)
+        kernel = self._native_kernels.get(key)
+        if kernel is not None:
+            return kernel
+        kernel = build_native_kernel(self, mask, epsilon)
+        self.native_kernel_builds += 1
+        while len(self._native_kernels) >= _NATIVE_KERNELS_MAX:
+            self._native_kernels.pop(next(iter(self._native_kernels)))
+        self._native_kernels[key] = kernel
+        return kernel
+
     def run_specialized(
         self,
         args: Sequence[float],
@@ -459,6 +515,27 @@ class InstrumentedProgram:
         variant = self.specialize(saturated_mask, epsilon)
         value, r = variant.run(args)
         return value, r, variant.covered_mask()
+
+    def run_native(
+        self,
+        args: Sequence[float],
+        saturated_mask: int,
+        epsilon: float = DEFAULT_EPSILON,
+    ) -> tuple[object, float, int]:
+        """Execute under the ``PENALTY_NATIVE`` tier.
+
+        Same contract as :meth:`run_specialized` -- ``r`` bit-identical,
+        ``covered_mask`` partial -- except the return value is ``None``
+        (the machine-code kernel computes ``r`` and coverage only).  When
+        the native tier is unavailable the call transparently degrades to
+        :meth:`run_specialized`, which does return the value.
+        """
+        try:
+            kernel = self.native_kernel(saturated_mask, epsilon)
+        except NativeUnavailable:
+            return self.run_specialized(args, saturated_mask, epsilon)
+        r, covered = kernel.scalar(args)
+        return None, r, covered
 
     def clone(self) -> "InstrumentedProgram":
         """Rebuild this program with a fresh namespace and runtime handle.

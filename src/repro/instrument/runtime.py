@@ -132,8 +132,16 @@ class ExecutionProfile(str, enum.Enum):
     their probes stripped entirely, so only unsaturated conditionals record
     covered bits (sound for the optimizer inner loop; accepted minima are
     re-executed under ``COVERAGE`` to harvest branches).
+
+    ``PENALTY_NATIVE`` goes below that: the specialized lowering is emitted
+    as C (:mod:`repro.instrument.native`), compiled with the system ``cc``
+    and called through ``ctypes``.  Same contract as ``PENALTY_SPECIALIZED``
+    (bit-identical ``r``, partial covered bitset); machines without a C
+    compiler -- or programs with non-emittable constructs -- degrade to the
+    specialized tier with a one-time warning.
     """
 
+    PENALTY_NATIVE = "penalty-native"
     PENALTY_SPECIALIZED = "penalty-specialized"
     PENALTY_ONLY = "penalty"
     COVERAGE = "coverage"

@@ -25,6 +25,11 @@ from __future__ import annotations
 import struct
 from typing import Callable
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is an optional dependency
+    _np = None
+
 #: Default bound on distinct cached points per memo (one memo lives for a
 #: single basin-hopping launch, so this is ample and keeps memory O(1)).
 DEFAULT_MAX_ENTRIES = 65536
@@ -115,8 +120,19 @@ class BitPatternMemo:
         cache[key] = float(value)
 
     def row_keys(self, X) -> list[bytes]:
-        """Bit-pattern keys for every row of a C-contiguous float64 array."""
+        """Bit-pattern keys for every row of an ``(N, arity)`` float64 array.
+
+        The scalar path keys by ``struct.pack(f"={arity}d", *x)``; for the
+        keys to coincide, the batch bytes must come from a C-contiguous
+        float64 layout.  Caller-provided arrays are normalized through
+        ``np.ascontiguousarray(..., dtype=float64)`` first, so transposed,
+        sliced or otherwise strided views (and non-float64 dtypes) produce
+        the same keys as their scalar counterparts instead of silently
+        mis-keying the cache.
+        """
         width = 8 * self.arity
+        if _np is not None and isinstance(X, _np.ndarray):
+            X = _np.ascontiguousarray(X, dtype=_np.float64)
         raw = memoryview(X.tobytes() if hasattr(X, "tobytes") else bytes(X))
         return [bytes(raw[i : i + width]) for i in range(0, len(raw), width)]
 

@@ -1,0 +1,484 @@
+"""Tests of the native machine-code penalty tier (``instrument/native/``).
+
+The contract under test is cross-tier bit-identity: for any program, any
+saturation mask and any input row -- NaN, infinities, denormals, huge-int
+word patterns included -- the native scalar entry point, the native batch
+entry point, the scalar ``PENALTY_SPECIALIZED`` variant and the generic
+:class:`~repro.instrument.runtime.FastRuntime` must compute the same ``r``
+bit-for-bit and the same covered-branch sets.  On top of that sit the
+kernel/digest caches, the ``NativeUnavailable`` degradation (no compiler:
+one per-instance warning, identical results through the specialized tier),
+the ``repro native-cache`` CLI and the engine-level identity of
+``penalty-native`` vs ``penalty-specialized`` runs across worker pools.
+
+Every test that needs a C compiler self-skips when none is present, so the
+suite passes on compiler-less machines with the degradation tests carrying
+the load there.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+import struct
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.config import CoverMeConfig
+from repro.core.representing import RepresentingFunction
+from repro.core.saturation import SaturationTracker
+from repro.engine.core import SearchEngine
+from repro.experiments.pipeline import _TOOL_FP_EXCLUDE, tool_fingerprint
+from repro.experiments.runner import instrument_case
+from repro.fdlibm.suite import BENCHMARKS
+from repro.instrument.native.cache import (
+    NativeUnavailable,
+    _reset_cc_probe_for_tests,
+    cc_available,
+    compile_kernel,
+    native_cache_entries,
+)
+from repro.instrument.native.kernel import (
+    build_native_kernel,
+    clear_native_cache,
+    kernel_digest,
+    native_cache_info,
+)
+from repro.instrument.program import (
+    clear_compiled_cache,
+    compiled_cache_info,
+    instrument,
+)
+from repro.instrument.runtime import ExecutionProfile
+from tests import sample_programs as sp
+from tests.test_specialize import PARITY_TARGETS, _run_fast, _unsaturated_bits
+
+requires_cc = pytest.mark.skipif(
+    not cc_available(), reason="no C compiler (cc/gcc/clang) on PATH"
+)
+
+
+def _bits(value: float) -> bytes:
+    return struct.pack("=d", value)
+
+
+def _from_word(bits: int) -> float:
+    return struct.unpack("=d", struct.pack("=Q", bits))[0]
+
+
+#: Adversarial scalar inputs: signed zeros, NaN (quiet and the signaling
+#: 0x7ff0000000000001 word pattern), infinities, near-overflow magnitudes,
+#: denormals down to the smallest, and doubles beyond int64 (``int(x)``
+#: cannot be replicated in an int64 lane -- the native code must bail).
+_ADVERSARIAL = (
+    0.0,
+    -0.0,
+    2.0,
+    -7.5,
+    float("nan"),
+    float("inf"),
+    -float("inf"),
+    1e308,
+    -1e308,
+    5e-324,
+    -5e-324,
+    1e-320,
+    1e19,
+    -1e19,
+    _from_word(0x7FF0000000000001),  # signaling-NaN word pattern
+    _from_word(0x000FFFFFFFFFFFFF),  # largest denormal
+    _from_word(0x7FEFFFFFFFFFFFFF),  # DBL_MAX
+)
+
+#: Programs whose loops never terminate on +inf input (in every tier alike).
+_NO_INF = (sp.loop_program, sp.while_else_loop)
+
+
+def _adversarial_rows(rng, target, arity: int, n_random: int) -> np.ndarray:
+    specials = [
+        s
+        for s in _ADVERSARIAL
+        if not (target in _NO_INF and s == float("inf"))
+    ]
+    rows = [rng.normal(scale=5.0, size=arity) for _ in range(n_random)]
+    rows += [[s] * arity for s in specials]
+    return np.ascontiguousarray(rows, dtype=np.float64)
+
+
+def _assert_native_parity(program, mask: int, X: np.ndarray) -> None:
+    """Native scalar == native batch == specialized == FastRuntime, row for row."""
+    kernel = program.native_kernel(mask)
+    r_batch, cov_batch = kernel(X)
+    cov_union = 0
+    for i, row in enumerate(X):
+        args = row.tolist()
+        _, r_sp, cov_sp = program.run_specialized(args, mask)
+        r_native, cov_native = kernel.scalar(args)
+        _, r_fast, cov_fast = _run_fast(program, mask, args)
+        context = (program.name, hex(mask), args)
+        assert _bits(r_native) == _bits(r_sp) == _bits(r_fast), context
+        assert _bits(float(r_batch[i])) == _bits(r_sp), context
+        assert cov_native == cov_sp, context
+        assert cov_sp == _unsaturated_bits(mask, cov_fast, program.n_conditionals), context
+        cov_union |= cov_sp
+    assert cov_batch == cov_union, (program.name, hex(mask))
+
+
+@requires_cc
+class TestSampleFormParity:
+    @pytest.mark.parametrize("target", PARITY_TARGETS, ids=lambda f: f.__name__)
+    def test_bit_identical_over_random_masks(self, target):
+        program = instrument(target)
+        rng = np.random.default_rng(41)
+        n_bits = 2 * program.n_conditionals
+        for trial in range(3):
+            mask = int(rng.integers(0, 1 << n_bits)) if trial else 0
+            X = _adversarial_rows(rng, target, program.arity, n_random=4)
+            _assert_native_parity(program, mask, X)
+
+    def test_all_saturated_mask(self):
+        for target in (sp.paper_foo, sp.nested_boolean, sp.chained_comparison):
+            program = instrument(target)
+            rng = np.random.default_rng(43)
+            X = _adversarial_rows(rng, target, program.arity, n_random=2)
+            _assert_native_parity(program, (1 << (2 * program.n_conditionals)) - 1, X)
+
+    def test_multi_unit_program_with_instrumented_helper(self):
+        program = instrument(sp.calls_helper, extra_functions=[sp.helper_goo])
+        rng = np.random.default_rng(47)
+        X = _adversarial_rows(rng, sp.calls_helper, program.arity, n_random=4)
+        for mask in (0, 1, 5):
+            _assert_native_parity(program, mask, X)
+
+
+@requires_cc
+class TestFdlibmSuiteParity:
+    @pytest.mark.parametrize("case", BENCHMARKS, ids=lambda c: c.function.split("(")[0])
+    def test_bit_identical_row_for_row(self, case):
+        program = instrument_case(case)
+        rng = np.random.default_rng(53)
+        n_bits = 2 * program.n_conditionals
+        rows = [rng.uniform(-50, 50, size=program.arity) for _ in range(6)]
+        rows += [[s] * program.arity for s in _ADVERSARIAL]
+        X = np.ascontiguousarray(rows, dtype=np.float64)
+        for trial in range(2):
+            mask = int(rng.integers(0, 1 << min(n_bits, 62))) if trial else 0
+            _assert_native_parity(program, mask, X)
+
+
+def trunc_overflows(x):
+    k = int(x)
+    if k > 10:
+        return 1.0
+    return 0.0
+
+
+@requires_cc
+class TestRuntimeBail:
+    def test_int64_overflow_rows_fall_back_per_row(self):
+        """``int()`` of a double >= 2**63 hits a native bail site: those rows
+        are transparently redone on the scalar specialized variant while the
+        rest of the batch stays native, values and coverage identical."""
+        program = instrument(trunc_overflows)
+        X = np.ascontiguousarray([[2.5], [1e19], [-3.0], [-1e19]], dtype=np.float64)
+        _assert_native_parity(program, 0, X)
+        kernel = program.native_kernel(0)
+        assert kernel.loaded.bail_sites >= 1
+
+    def test_swallowed_exceptions_freeze_like_the_scalar_tier(self):
+        # raises_for_small raises for |x| < 1: the native code must freeze
+        # (keep r and coverage, stop executing) exactly where the scalar
+        # tier swallows the exception.
+        program = instrument(sp.raises_for_small)
+        X = np.ascontiguousarray(
+            [[0.5], [-0.25], [2.0], [float("nan")]], dtype=np.float64
+        )
+        _assert_native_parity(program, 0, X)
+
+
+@requires_cc
+class TestRepresentingFunctionNative:
+    def _pair(self, target):
+        program = instrument(target)
+        native = RepresentingFunction(
+            program, SaturationTracker(program), profile=ExecutionProfile.PENALTY_NATIVE
+        )
+        specialized = RepresentingFunction(
+            program,
+            SaturationTracker(program),
+            profile=ExecutionProfile.PENALTY_SPECIALIZED,
+        )
+        return program, native, specialized
+
+    def test_scalar_calls_match_specialized_including_clamp(self):
+        _, native, specialized = self._pair(sp.paper_foo)
+        for value in _ADVERSARIAL:
+            assert _bits(native([value])) == _bits(specialized([value])), value
+        assert native.native_respecializations == 1
+        assert native.evaluations == len(_ADVERSARIAL)
+
+    def test_evaluate_batch_uses_native_kernel(self):
+        _, native, specialized = self._pair(sp.paper_foo)
+        X = np.ascontiguousarray([[v] for v in _ADVERSARIAL], dtype=np.float64)
+        values = native.evaluate_batch(X)
+        assert native.batched_calls == 1
+        assert native.batch_respecializations == 0  # served natively
+        assert native.native_respecializations == 1
+        for i in range(X.shape[0]):
+            assert _bits(float(values[i])) == _bits(specialized(X[i]))
+
+    def test_epoch_protocol_respecializes_only_on_mask_flip(self):
+        program, native, _ = self._pair(sp.paper_foo)
+        tracker = native.tracker
+        native([4.0])
+        native([4.0])
+        assert native.native_respecializations == 1
+        _, coverage = native.evaluate_with_coverage([4.0])
+        tracker.add_covered(set(coverage.covered))
+        if tracker.saturated_mask != 0:
+            native([4.0])
+            assert native.native_respecializations == 2
+            assert native._native_kernel.saturated_mask == tracker.saturated_mask
+
+    def test_coverage_harvest_identical_across_profiles(self):
+        _, native, specialized = self._pair(sp.nested_branches)
+        for args in ([4.0, 1.0], [0.0, -2.0], [float("nan"), 3.0]):
+            value_n, cov_n = native.evaluate_with_coverage(args)
+            value_s, cov_s = specialized.evaluate_with_coverage(args)
+            assert _bits(value_n) == _bits(value_s)
+            assert cov_n.covered == cov_s.covered
+            assert cov_n.last_conditional == cov_s.last_conditional
+
+
+@requires_cc
+class TestCachesAndDigest:
+    _UNIT = ("def f(x):\n    return x\n", "f", "L0")
+
+    def test_digest_sensitive_to_source_mask_and_epsilon(self):
+        base = kernel_digest((self._UNIT,), 0, 1e-6)
+        assert kernel_digest((self._UNIT,), 0, 1e-6) == base
+        other_source = (("def f(x):\n    return x + 1.0\n", "f", "L0"),)
+        assert kernel_digest(other_source, 0, 1e-6) != base
+        assert kernel_digest((self._UNIT,), 3, 1e-6) != base
+        assert kernel_digest((self._UNIT,), 0, 1e-7) != base
+
+    def test_program_kernel_cache_and_build_counter(self):
+        program = instrument(sp.paper_foo)
+        first = program.native_kernel(0)
+        assert program.native_kernel(0) is first
+        assert program.native_kernel_builds == 1
+        program.native_kernel(3)
+        assert program.native_kernel_builds == 2
+
+    def test_module_cache_hits_across_program_instances(self):
+        clear_native_cache()
+        instrument(sp.paper_foo).native_kernel(0)
+        misses_before = native_cache_info()["misses"]
+        instrument(sp.paper_foo).native_kernel(0)
+        info = native_cache_info()
+        assert info["misses"] == misses_before
+        assert info["hits"] >= 1
+
+    def test_compiled_cache_info_reports_native_and_clear_clears_it(self):
+        clear_compiled_cache()
+        info = compiled_cache_info()
+        assert "native" in info
+        assert {"entries", "hits", "misses", "evictions", "disk_entries", "cc"} <= set(
+            info["native"]
+        )
+        instrument(sp.paper_foo).native_kernel(0)
+        assert compiled_cache_info()["native"]["entries"] >= 1
+        clear_compiled_cache()
+        after = compiled_cache_info()["native"]
+        assert after["entries"] == 0
+        assert after["hits"] == 0 and after["misses"] == 0
+
+    def test_unavailable_programs_are_negatively_cached(self):
+        def calls_gamma(x: float) -> float:
+            return math.gamma(x) + 0.0
+
+        program = instrument(calls_gamma)
+        clear_native_cache()
+        with pytest.raises(NativeUnavailable):
+            build_native_kernel(program, 0)
+        misses = native_cache_info()["misses"]
+        with pytest.raises(NativeUnavailable):
+            build_native_kernel(program, 0)
+        info = native_cache_info()
+        assert info["misses"] == misses  # second failure served from cache
+        assert info["hits"] >= 1
+
+    def test_run_profiled_dispatches_to_native(self):
+        program = instrument(sp.paper_foo)
+        value, r, covered = program.run_profiled(
+            [4.0], ExecutionProfile.PENALTY_NATIVE, saturated_mask=0
+        )
+        _, r_sp, cov_sp = program.run_specialized([4.0], 0)
+        assert value is None  # the native kernel computes only r and coverage
+        assert _bits(r) == _bits(r_sp)
+        assert covered == cov_sp
+
+
+class TestDegradation:
+    @pytest.fixture
+    def no_cc(self, tmp_path):
+        """Hide every C compiler (empty PATH, no REPRO_CC) and re-probe."""
+        old_path = os.environ.get("PATH", "")
+        old_cc = os.environ.pop("REPRO_CC", None)
+        os.environ["PATH"] = str(tmp_path)
+        _reset_cc_probe_for_tests()
+        clear_native_cache()
+        try:
+            yield
+        finally:
+            os.environ["PATH"] = old_path
+            if old_cc is not None:
+                os.environ["REPRO_CC"] = old_cc
+            _reset_cc_probe_for_tests()
+            clear_native_cache()
+
+    def test_degrades_to_specialized_with_single_warning(self, no_cc):
+        assert not cc_available()
+        assert native_cache_info()["cc"] is None
+        program = instrument(sp.paper_foo)
+        native = RepresentingFunction(
+            program, SaturationTracker(program), profile=ExecutionProfile.PENALTY_NATIVE
+        )
+        specialized = RepresentingFunction(
+            program,
+            SaturationTracker(program),
+            profile=ExecutionProfile.PENALTY_SPECIALIZED,
+        )
+        with pytest.warns(RuntimeWarning, match="native tier unavailable"):
+            first = native([4.0])
+        assert _bits(first) == _bits(specialized([4.0]))
+        # Further calls (scalar and batched) stay silent and identical.
+        X = np.ascontiguousarray([[0.5], [-2.0], [float("nan")]], dtype=np.float64)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            values = native.evaluate_batch(X)
+            assert _bits(native([9.0])) == _bits(specialized([9.0]))
+        for i in range(X.shape[0]):
+            assert _bits(float(values[i])) == _bits(specialized(X[i]))
+
+    def test_warning_is_per_instance(self, no_cc):
+        program = instrument(sp.paper_foo)
+        for _ in range(2):  # each fresh instance warns once, again
+            representing = RepresentingFunction(
+                program,
+                SaturationTracker(program),
+                profile=ExecutionProfile.PENALTY_NATIVE,
+            )
+            with pytest.warns(RuntimeWarning, match="native tier unavailable"):
+                representing([4.0])
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                representing([4.0])
+
+    def test_build_native_kernel_raises_without_compiler(self, no_cc):
+        program = instrument(sp.paper_foo)
+        with pytest.raises(NativeUnavailable, match="no C compiler"):
+            build_native_kernel(program, 0)
+
+    def test_engine_run_completes_and_matches_specialized(self, no_cc):
+        outcomes = []
+        for profile in ("penalty-native", "penalty-specialized"):
+            program = instrument(sp.paper_foo)
+            config = CoverMeConfig(
+                n_start=8, n_iter=2, seed=7, eval_profile=profile, worker_mode="serial"
+            )
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                result = SearchEngine(program, config).run()
+            outcomes.append(
+                (tuple(result.inputs), result.covered, result.evaluations)
+            )
+        assert outcomes[0] == outcomes[1]
+
+
+@requires_cc
+class TestEngineIdentity:
+    def _run(self, program_factory, *, profile, n_workers, mode):
+        program = program_factory()
+        config = CoverMeConfig(
+            n_start=16,
+            n_iter=3,
+            seed=42,
+            eval_profile=profile,
+            n_workers=n_workers,
+            worker_mode=mode,
+        )
+        result = SearchEngine(program, config).run()
+        return (
+            tuple(result.inputs),
+            result.covered,
+            result.saturated,
+            frozenset(result.infeasible),
+            result.evaluations,
+            result.n_starts_used,
+            tuple(
+                (t.start, t.minimum_point, t.minimum_value, t.accepted, t.evaluations)
+                for t in result.traces
+            ),
+        )
+
+    @pytest.mark.parametrize("n_workers,mode", [(1, "serial"), (3, "thread"), (2, "process")])
+    def test_run_sets_identical_native_vs_specialized(self, n_workers, mode):
+        factory = lambda: instrument(sp.paper_foo)  # noqa: E731
+        native = self._run(factory, profile="penalty-native", n_workers=n_workers, mode=mode)
+        specialized = self._run(
+            factory, profile="penalty-specialized", n_workers=n_workers, mode=mode
+        )
+        assert native == specialized, mode
+
+    def test_rows_mode_suite_entry_identical_across_pools(self):
+        by_name = {c.function.split("(")[0]: c for c in BENCHMARKS}
+        factory = lambda: instrument_case(by_name["tanh"])  # noqa: E731
+        with warnings.catch_warnings():
+            # Prove no degradation fired anywhere in the run.
+            warnings.simplefilter("error", RuntimeWarning)
+            serial = self._run(
+                factory, profile="penalty-native", n_workers=1, mode="serial"
+            )
+            threaded = self._run(
+                factory, profile="penalty-native", n_workers=2, mode="thread"
+            )
+        specialized = self._run(
+            factory, profile="penalty-specialized", n_workers=1, mode="serial"
+        )
+        assert serial == threaded == specialized
+
+
+@requires_cc
+class TestNativeCacheCLI:
+    def test_ls_and_clean_roundtrip(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path))
+        digest = "deadbeef" * 8
+        so_path = compile_kernel("int sp_dummy(void) { return 0; }\n", digest)
+        assert so_path.exists()
+        assert cli_main(["native-cache", "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "1 kernels" in out and digest[:16] in out
+        assert cli_main(["native-cache", "clean"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert native_cache_entries() == []
+        assert cli_main(["native-cache", "ls"]) == 0
+        assert "empty" in capsys.readouterr().out
+
+
+class TestFingerprintNeutrality:
+    def test_eval_profile_excluded_from_tool_fingerprints(self):
+        assert "eval_profile" in _TOOL_FP_EXCLUDE
+
+        @dataclasses.dataclass
+        class FakeTool:
+            eval_profile: str
+            depth: int = 3
+
+        assert tool_fingerprint(FakeTool("penalty-native")) == tool_fingerprint(
+            FakeTool("penalty-specialized")
+        )
