@@ -6,6 +6,7 @@ experiment pipelines.
     python -m repro run table2 --profile smoke --store .repro-store --resume
     python -m repro run table2 table5 figure5 --profile smoke --store .repro-store
     python -m repro render table2 --profile smoke --store .repro-store
+    python -m repro serve --store .repro-store --port 8642
     python -m repro ls --store .repro-store
     python -m repro clean --store .repro-store
 
@@ -13,7 +14,9 @@ experiment pipelines.
 completed (case, tool) jobs from the store, executes and checkpoints the
 rest, and prints each spec's rendered artifact.  ``render`` is the read-only
 view: it renders purely from stored records and fails (listing the missing
-jobs) rather than executing anything.
+jobs) rather than executing anything.  ``serve`` exposes the same service
+layer as a long-running HTTP daemon over the same store (see
+:mod:`repro.service.http` for the endpoints).
 """
 
 from __future__ import annotations
@@ -99,8 +102,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_p.add_argument("--jobs", type=int, default=1, metavar="N", help="case-level workers")
     run_p.add_argument(
-        "--mode", choices=("serial", "thread"), default="thread",
-        help="worker dispatch mode for --jobs > 1 (persistent stores need serial/thread)",
+        "--mode", choices=("serial", "thread", "process"), default="thread",
+        help="worker dispatch mode for --jobs > 1 (all modes, including "
+        "process, checkpoint into persistent stores via the service layer)",
     )
     run_p.add_argument(
         "--out", default=None, metavar="DIR",
@@ -118,6 +122,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     clean_p = sub.add_parser("clean", help="drop every record from a run store")
     add_store_arg(clean_p)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the coverage service as an HTTP daemon (stdlib asyncio)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port", type=int, default=8642,
+        help="listen port (0 picks an ephemeral port; the actual one is "
+        "printed in the 'listening on' line)",
+    )
+    serve_store = serve_p.add_mutually_exclusive_group()
+    serve_store.add_argument(
+        "--store",
+        default=DEFAULT_STORE,
+        help=f"shared result-cache directory (default: {DEFAULT_STORE})",
+    )
+    serve_store.add_argument(
+        "--ephemeral", action="store_true",
+        help="serve over an in-memory store (nothing persists across restarts)",
+    )
+    serve_p.add_argument(
+        "--workers", type=int, default=1, metavar="N", help="warm service workers"
+    )
+    serve_p.add_argument(
+        "--worker-mode", choices=("thread", "process"), default="thread",
+        help="how workers execute jobs (process = persistent worker processes)",
+    )
+    serve_p.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="shard count for the job router (default: worker count; results "
+        "are bit-identical for every value)",
+    )
+    serve_p.add_argument(
+        "--queue-limit", type=int, default=64, metavar="N",
+        help="max pending admissions before submissions get HTTP 429",
+    )
 
     native_p = sub.add_parser(
         "native-cache",
@@ -256,6 +297,30 @@ def _clean(args) -> int:
     return 0
 
 
+def _serve(args) -> int:
+    # Imported lazily: the service stack (and its instrumentation imports)
+    # should not tax `repro ls`-style invocations.
+    from repro.service import CoverageService
+    from repro.service.http import serve
+
+    store = None if args.ephemeral else args.store
+    # The daemon always uses real workers: inline execution would run jobs
+    # on the asyncio thread and freeze every other client mid-job.
+    service = CoverageService(
+        store=store,
+        worker_mode=args.worker_mode,
+        n_workers=args.workers,
+        n_shards=args.shards,
+        queue_limit=args.queue_limit,
+        resume=True,
+    )
+    try:
+        serve(service, host=args.host, port=args.port)
+    finally:
+        service.close()
+    return 0
+
+
 def _native_cache(args) -> int:
     from repro.instrument.native.cache import (
         native_cache_dir,
@@ -315,6 +380,8 @@ def main(argv: Optional[list[str]] = None) -> int:
             return _ls(args)
         if args.command == "clean":
             return _clean(args)
+        if args.command == "serve":
+            return _serve(args)
         if args.command == "native-cache":
             return _native_cache(args)
     except SchemaVersionError as exc:

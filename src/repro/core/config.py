@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 from repro.core.branch_distance import DEFAULT_EPSILON
 from repro.instrument.runtime import EXECUTION_PROFILES, ExecutionProfile
@@ -91,6 +91,14 @@ class CoverMeConfig:
             default) reproduces the historical single-proposal trajectory
             exactly; larger values batch-evaluate the whole population per
             hop and descend from the best candidate.
+        progress: Optional observer called by the engine after each batch
+            reduction with a dict of running counters (batch index, starts
+            issued/used, evaluations, covered/saturated branch counts).  It
+            is strictly an observer -- it must not mutate engine state, and
+            it cannot change results (the service layer uses it to stream
+            job progress to daemon clients); it is excluded from store
+            fingerprints for the same reason.  The callback runs on the
+            engine's reduction thread and should return quickly.
     """
 
     n_start: int = 100
@@ -116,6 +124,7 @@ class CoverMeConfig:
     memoize: bool = True
     batch_starts: bool = True
     proposal_population: int = 1
+    progress: Optional[Callable[[dict], None]] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         # Imported lazily: the registries live above repro.core in the layer
@@ -159,6 +168,8 @@ class CoverMeConfig:
             raise ValueError(f"unknown eval profile {self.eval_profile!r}; known: {known}")
         if self.proposal_population < 1:
             raise ValueError("proposal_population must be >= 1")
+        if self.progress is not None and not callable(self.progress):
+            raise ValueError("progress must be a callable (or None)")
 
     def effective_batch_size(self) -> int:
         """The batch size the engine actually uses."""

@@ -42,7 +42,7 @@ import numpy as np
 from repro.core.config import CoverMeConfig
 from repro.core.report import CoverMeResult, MinimizationTrace
 from repro.core.saturation import SaturationTracker
-from repro.engine.pool import StartPool, _process_context, resolve_worker_mode
+from repro.engine.pool import StartPool, process_context, resolve_worker_mode
 from repro.engine.scheduler import StartScheduler
 from repro.engine.worker import StartParams, StartResult, StartTask
 from repro.instrument.program import InstrumentedProgram
@@ -84,7 +84,7 @@ class SearchEngine:
         # Pin the multiprocessing context now so the fork-safety decision in
         # resolve_worker_mode stays valid for the pool that run() creates,
         # even if other threads start in between.
-        self.mp_context = _process_context()
+        self.mp_context = process_context()
         self.resolved_mode = resolve_worker_mode(
             program, self.config.worker_mode, self.config.n_workers, mp_context=self.mp_context
         )
@@ -159,6 +159,9 @@ class SearchEngine:
                             # starts were never launched, so there is
                             # nothing to account for.
                             break
+                self._emit_progress(
+                    batch_index - 1, issued, starts_used, evaluations, len(inputs), start_time
+                )
 
         wall_time = time.perf_counter() - start_time
         return CoverMeResult(
@@ -175,6 +178,38 @@ class SearchEngine:
         )
 
     # -- internals --------------------------------------------------------------------
+
+    def _emit_progress(
+        self,
+        batch_index: int,
+        issued: int,
+        starts_used: int,
+        evaluations: int,
+        n_inputs: int,
+        start_time: float,
+    ) -> None:
+        """Call the configured progress observer after one batch reduction.
+
+        The observer sees running counters only -- it cannot influence the
+        search, so seeded results stay bit-identical with or without it.
+        """
+        if self.config.progress is None:
+            return
+        self.config.progress(
+            {
+                "event": "batch",
+                "batch": batch_index,
+                "starts_issued": issued,
+                "starts_total": self.config.n_start,
+                "starts_used": starts_used,
+                "evaluations": evaluations,
+                "inputs": n_inputs,
+                "covered": len(self.tracker.covered & self.program.all_branches),
+                "n_branches": self.program.n_branches,
+                "all_saturated": self.tracker.all_saturated(),
+                "elapsed": time.perf_counter() - start_time,
+            }
+        )
 
     def _schedule_batch(self, batch_index: int, first_index: int, count: int) -> list[StartTask]:
         """Freeze the saturation snapshot and draw the batch's starting points."""

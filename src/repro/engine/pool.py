@@ -47,7 +47,7 @@ def available_worker_modes() -> tuple[str, ...]:
     return WORKER_MODES
 
 
-def _process_context():
+def process_context():
     """Pick a start method that is safe from this exact process.
 
     fork is the cheapest (workers inherit runtime-registered backends), but
@@ -63,6 +63,11 @@ def _process_context():
     if "forkserver" in methods:
         return multiprocessing.get_context("forkserver")
     return multiprocessing.get_context("spawn")
+
+
+#: Backwards-compatible alias (the helper predates its public use by the
+#: service layer's persistent process workers).
+_process_context = process_context
 
 
 def _origin_importable_in_child(origin) -> bool:
@@ -97,7 +102,7 @@ def resolve_worker_mode(
         return "serial"
     if mode == "process" or mode == "auto":
         if origin_is_picklable(program.origin):
-            ctx = mp_context if mp_context is not None else _process_context()
+            ctx = mp_context if mp_context is not None else process_context()
             if ctx.get_start_method() == "fork" or _origin_importable_in_child(program.origin):
                 return "process"
             if mode == "process":
@@ -154,7 +159,7 @@ class StartPool:
         if mode == "process":
             self._executor = ProcessPoolExecutor(
                 max_workers=self.n_workers,
-                mp_context=mp_context if mp_context is not None else _process_context(),
+                mp_context=mp_context if mp_context is not None else process_context(),
             )
         elif mode == "thread":
             self._executor = ThreadPoolExecutor(max_workers=self.n_workers)
@@ -241,7 +246,7 @@ def parallel_map(
     if n_workers <= 1 or len(items) <= 1 or mode == "serial":
         return [fn(item) for item in items]
     if mode == "process":
-        with ProcessPoolExecutor(max_workers=n_workers, mp_context=_process_context()) as executor:
+        with ProcessPoolExecutor(max_workers=n_workers, mp_context=process_context()) as executor:
             return list(executor.map(fn, items))
     with ThreadPoolExecutor(max_workers=n_workers) as executor:
         return list(executor.map(fn, items))

@@ -1,7 +1,7 @@
 """Declarative, resumable orchestration of the paper's experiments.
 
-This module is the planning and execution layer between the per-table
-experiment modules and the tool/search machinery:
+This module is the planning layer between the per-table experiment modules
+and the service layer that actually executes jobs:
 
 * an :class:`ExperimentSpec` declares what one table/figure needs -- which
   tools run over the benchmark suite (and whether line coverage is
@@ -11,144 +11,63 @@ experiment modules and the tool/search machinery:
   jobs, **deduplicated across specs** -- Table 2, Table 5 and Figure 5 all
   need the same CoverMe/Rand/AFL runs, so one ``repro run table2 table5
   figure5`` invocation executes each shared pair exactly once;
-* :func:`execute_plan` dispatches the plan through
-  :func:`repro.engine.pool.parallel_map`, loading completed jobs from a
-  :class:`~repro.store.RunStore` and checkpointing each newly finished job
-  immediately, so an interrupted run resumes by skipping completed work;
+* :func:`execute_plan` submits the plan to a
+  :class:`~repro.service.CoverageService` -- the same admission / dedup /
+  result-cache front door the HTTP daemon serves -- so completed jobs load
+  from the :class:`~repro.store.RunStore`, new ones are checkpointed the
+  moment they finish, and an interrupted run resumes by skipping completed
+  work;
 * renderers (defined by the table modules) format the resulting
   :class:`~repro.experiments.runner.ComparisonRow`\\ s as thin views over
   the store.
 
 Job ordering inside a case is semantic, not cosmetic: CoverMe runs first so
 the baselines' budgets can be derived from its measured effort (the paper's
-"ten times the CoverMe time" rule).  The derived budget is fingerprinted
-into the baseline job's key, so a baseline record is reused only when the
-CoverMe effort it was calibrated against is unchanged.
+"ten times the CoverMe time" rule).  :func:`execute_plan` therefore
+schedules in two waves -- every case's CoverMe job is submitted up front
+(filling all service workers), then each case's baselines follow as its
+CoverMe result lands.  The derived budget is fingerprinted into the
+baseline job's key, so a baseline record is reused only when the CoverMe
+effort it was calibrated against is unchanged.
+
+The tool factories and fingerprint helpers moved to
+:mod:`repro.service.jobs`; they are re-exported here unchanged for
+backwards compatibility.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import functools
-import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
-from repro.baselines.afl import AFLFuzzer
-from repro.baselines.austin import AustinTester
-from repro.baselines.harness import Budget, run_tool
-from repro.baselines.random_testing import RandomTester
-from repro.engine.pool import parallel_map
-from repro.experiments.runner import (
-    ComparisonRow,
-    CoverMeTool,
-    Profile,
-    coverme_tool,
-    instrument_case,
-)
+from repro.experiments.runner import ComparisonRow, Profile, instrument_case  # noqa: F401
 from repro.fdlibm.suite import BENCHMARKS, BenchmarkCase
-from repro.store import JobKey, RunStore, canonical_json, fingerprint_of, summary_from_dict, summary_to_dict
-
-# ---------------------------------------------------------------------------
-# Tool factories (module-level so process workers can pickle them)
-# ---------------------------------------------------------------------------
-
-
-def make_coverme(profile: Profile) -> CoverMeTool:
-    return coverme_tool(profile)
-
-
-def make_rand(profile: Profile) -> RandomTester:
-    return RandomTester(seed=profile.seed + 1)
-
-
-def make_afl(profile: Profile) -> AFLFuzzer:
-    return AFLFuzzer(seed=profile.seed + 2)
-
-
-def make_austin(profile: Profile) -> AustinTester:
-    return AustinTester(seed=profile.seed + 3)
-
-
-#: Named factories used by the specs (and reusable by custom callers).
-TOOL_FACTORIES: dict[str, Callable[[Profile], object]] = {
-    "CoverMe": make_coverme,
-    "Rand": make_rand,
-    "AFL": make_afl,
-    "Austin": make_austin,
-}
-
-
-# ---------------------------------------------------------------------------
-# Fingerprints
-# ---------------------------------------------------------------------------
-
-#: Profile fields that provably do not change per-job results: ``name`` is a
-#: label (two profiles with the same values are the same work), ``max_cases``
-#: selects *which* jobs run, and the engine guarantees seeded results are
-#: identical for every worker count.
-_PROFILE_FP_EXCLUDE = frozenset({"name", "max_cases", "n_workers", "eval_profile", "batch_starts"})
-
-#: Tool state excluded from fingerprints: mutable run-to-run scratch, and
-#: CoverMe knobs the engine guarantees are result-neutral (every execution
-#: profile computes bit-identical representing-function values, so
-#: ``eval_profile`` -- like ``n_workers`` -- cannot change stored results).
-_TOOL_FP_EXCLUDE = frozenset(
-    {"last_evaluations", "n_workers", "worker_mode", "verbose", "batch_starts",
-     "eval_profile"}
+from repro.service.core import CoverageService
+from repro.service.jobs import (  # noqa: F401  (re-exported: legacy import site)
+    _PROFILE_FP_EXCLUDE,
+    _TOOL_FP_EXCLUDE,
+    TOOL_FACTORIES,
+    JobRequest,
+    baseline_budget,
+    build_job_key,
+    coverme_budget,
+    coverme_effort_from_payload,
+    domain_tag,
+    instrument_for_lookup,
+    make_afl,
+    make_austin,
+    make_coverme,
+    make_rand,
+    profile_fingerprint,
+    source_hash,
+    tool_fingerprint,
 )
+from repro.store import RunStore, summary_from_dict
 
-
-def profile_fingerprint(profile: Profile) -> str:
-    payload = {
-        k: v for k, v in dataclasses.asdict(profile).items() if k not in _PROFILE_FP_EXCLUDE
-    }
-    return fingerprint_of(payload)[:16]
-
-
-def _strip_excluded(obj):
-    if isinstance(obj, dict):
-        return {k: _strip_excluded(v) for k, v in obj.items() if k not in _TOOL_FP_EXCLUDE}
-    return obj
-
-
-def tool_fingerprint(tool) -> str:
-    """Content fingerprint of a tool's configuration (not its identity)."""
-    if dataclasses.is_dataclass(tool):
-        state = _strip_excluded(dataclasses.asdict(tool))
-    elif type(tool).__repr__ is not object.__repr__:
-        # Hand-rolled tools with a real repr: their repr is their config.
-        state = {"repr": repr(tool)}
-    else:
-        # The default object repr embeds a memory address: fingerprinting it
-        # would give every run a fresh key and silently disable resume.
-        raise ValueError(
-            f"cannot fingerprint tool {type(tool).__name__}: make it a dataclass "
-            "or give it a __repr__ that captures its configuration"
-        )
-    state["__type__"] = type(tool).__name__
-    return fingerprint_of(state)[:16]
-
-
-def source_hash(program) -> str:
-    """SHA-256 of the instrumented source (entry + extras, post-AST-pass)."""
-    return hashlib.sha256(program.source.encode("utf-8")).hexdigest()[:16]
-
-
-@functools.lru_cache(maxsize=None)
-def _instrument_for_lookup(case: BenchmarkCase):
-    """Instrument a case purely for store lookups (render mode).
-
-    Nothing executes these programs -- only ``n_branches`` and the source
-    hash are read -- so sharing one per case across the per-spec render
-    loop is safe and avoids re-running the AST pass once per spec.
-    """
-    return instrument_case(case)
-
-
-def _domain_tag(case: BenchmarkCase) -> str:
-    low, high = case.domain()
-    return canonical_json([list(low), list(high)])
+# Legacy private aliases (kept for older imports; same objects).
+_domain_tag = domain_tag
+_instrument_for_lookup = instrument_for_lookup
+_baseline_budget = baseline_budget
 
 
 def coverme_first(tool_names: Iterable[str]) -> list[str]:
@@ -342,111 +261,175 @@ class CaseOutcome:
     missing_jobs: list[str] = field(default_factory=list)
 
 
-def resolve_store_dispatch(
-    worker_mode: str, n_workers: int, store: Optional[RunStore]
-) -> Optional[RunStore]:
-    """Validate a dispatch mode against a store; returns the store to share.
+#: Dispatch modes accepted by :func:`execute_plan` (the legacy names; they
+#: map onto the service's inline/thread/process worker modes).
+_DISPATCH_MODES = ("serial", "thread", "process")
 
-    Persistent stores require ``serial`` or ``thread`` dispatch: process
-    workers cannot share the store's append handle, and silently dropping
-    their checkpoints would break resume.  Ephemeral runs may use
-    ``process``; each worker then uses its own in-memory store (``None`` is
-    returned so the unpicklable shared instance never crosses the process
-    boundary).
+
+def service_worker_mode(worker_mode: str, n_workers: int) -> str:
+    """Map a pipeline dispatch mode onto a service worker mode.
+
+    ``serial`` -- and any mode with one worker -- runs inline on the
+    submitting thread (no queue, no worker threads); ``thread`` and
+    ``process`` (with ``n_workers > 1``) run the service's persistent warm
+    pool.  Process-mode dispatch into persistent stores is fully supported:
+    service workers hand payloads back to the coordinating process, which
+    owns the store's append handle.
     """
-    if worker_mode not in ("serial", "thread", "process"):
-        raise ValueError(f"unknown worker mode {worker_mode!r}; known: serial, thread, process")
-    if worker_mode == "process" and n_workers > 1:
-        if store is not None and store.persistent:
-            raise ValueError(
-                "process-mode dispatch cannot checkpoint into a persistent store; "
-                "use worker_mode='thread' (or 'serial') for store-backed runs"
-            )
-        return None
-    return store
+    if worker_mode not in _DISPATCH_MODES:
+        known = ", ".join(_DISPATCH_MODES)
+        raise ValueError(f"unknown worker mode {worker_mode!r}; known: {known}")
+    if worker_mode == "serial" or n_workers <= 1:
+        return "inline"
+    return worker_mode
 
 
-def _baseline_budget(profile: Profile, coverme_effort: int) -> Budget:
-    return Budget(
-        max_executions=max(
-            profile.baseline_min_executions,
-            profile.baseline_execution_factor * coverme_effort,
-        ),
-        max_seconds=(
-            profile.coverme_time_budget * profile.baseline_execution_factor
-            if profile.coverme_time_budget is not None
-            else None
-        ),
+def _request_for(
+    case: BenchmarkCase, tool_item: tuple[str, Callable[[Profile], object], bool], profile: Profile
+) -> JobRequest:
+    tool_name, factory, measure_lines = tool_item
+    return JobRequest(
+        case=case, tool=tool_name, profile=profile, measure_lines=measure_lines, factory=factory
     )
+
+
+def _budget_for(tool_name: str, profile: Profile, coverme_effort: int):
+    if tool_name == "CoverMe":
+        return coverme_budget(profile)
+    return baseline_budget(profile, coverme_effort)
+
+
+def _lookup_case(
+    case: BenchmarkCase,
+    tool_items: list[tuple[str, Callable[[Profile], object], bool]],
+    profile: Profile,
+    store: Optional[RunStore],
+    resume: bool,
+) -> CaseOutcome:
+    """Resolve one case purely from the store (the ``repro render`` path).
+
+    Nothing executes; absent jobs are reported in ``missing_jobs``.  The
+    budget chain mirrors execution: a baseline's key depends on the CoverMe
+    effort, so a missing CoverMe record leaves the baselines keyed to the
+    profile floor (and typically missing too).
+    """
+    if store is None:
+        store = RunStore(None)
+    program = instrument_for_lookup(case)
+    stats = PipelineStats()
+    missing: list[str] = []
+    row = ComparisonRow(case=case, n_branches=program.n_branches)
+    coverme_effort = profile.baseline_min_executions
+    for tool_item in tool_items:
+        tool_name = tool_item[0]
+        stats.total += 1
+        request = _request_for(case, tool_item, profile)
+        key = build_job_key(request, _budget_for(tool_name, profile, coverme_effort))
+        payload = store.get_satisfying(key) if resume else None
+        if payload is None:
+            stats.missing += 1
+            missing.append(key.case_key + "/" + key.tool)
+            continue
+        stats.loaded += 1
+        if tool_name == "CoverMe":
+            coverme_effort = coverme_effort_from_payload(payload, profile)
+        row.results[tool_name] = summary_from_dict(payload["summary"])
+    return CaseOutcome(row=row, stats=stats, missing_jobs=missing)
+
+
+def _execute_cases(
+    cases: Sequence[BenchmarkCase],
+    items_by_case: dict[str, list[tuple[str, Callable[[Profile], object], bool]]],
+    profile: Profile,
+    service: CoverageService,
+    resume: bool,
+) -> list[CaseOutcome]:
+    """Run every case's job list through one shared service, in two waves.
+
+    Wave 1 submits each case's CoverMe job immediately (they are mutually
+    independent, so they saturate the worker pool); wave 2 follows each
+    case -- in case order -- with its baselines as soon as its CoverMe
+    result (which fixes their budgets) lands.  Results are folded back in
+    case order, so rows are deterministic for any worker/shard count.
+    """
+    reference_jobs: dict[str, object] = {}
+    for case in cases:
+        for tool_item in items_by_case[case.key]:
+            if tool_item[0] == "CoverMe":
+                reference_jobs[case.key] = service.submit(
+                    _request_for(case, tool_item, profile),
+                    budget=coverme_budget(profile),
+                    resume=resume,
+                )
+                break
+
+    outcomes: list[CaseOutcome] = []
+    pending: list[tuple[int, str, object]] = []  # (case index, tool, job)
+    for index, case in enumerate(cases):
+        tool_items = items_by_case[case.key]
+        stats = PipelineStats(total=len(tool_items))
+        row = ComparisonRow(case=case, n_branches=instrument_for_lookup(case).n_branches)
+        outcomes.append(CaseOutcome(row=row, stats=stats))
+        coverme_effort = profile.baseline_min_executions
+        if case.key in reference_jobs:
+            outcome = service.wait(reference_jobs[case.key])
+            _fold(outcomes[index], "CoverMe", outcome)
+            coverme_effort = coverme_effort_from_payload(outcome.payload, profile)
+        for tool_item in tool_items:
+            tool_name = tool_item[0]
+            if tool_name == "CoverMe":
+                continue
+            job = service.submit(
+                _request_for(case, tool_item, profile),
+                budget=_budget_for(tool_name, profile, coverme_effort),
+                resume=resume,
+            )
+            pending.append((index, tool_name, job))
+
+    for index, tool_name, job in pending:
+        _fold(outcomes[index], tool_name, service.wait(job))
+    return outcomes
+
+
+def _fold(case_outcome: CaseOutcome, tool_name: str, outcome) -> None:
+    """Fold one resolved job into its case's row and counters."""
+    if outcome.cached:
+        case_outcome.stats.loaded += 1
+    else:
+        case_outcome.stats.executed += 1
+    case_outcome.row.results[tool_name] = outcome.summary
 
 
 def execute_case(
     item: tuple[BenchmarkCase, list[tuple[str, Callable[[Profile], object], bool]]],
     profile: Profile,
-    store: Optional[RunStore],
+    store: Optional[RunStore] = None,
     resume: bool = True,
     execute: bool = True,
+    service: Optional[CoverageService] = None,
 ) -> CaseOutcome:
     """Run (or resolve from the store) every job of one benchmark case.
 
     ``item`` is ``(case, [(tool_name, factory, measure_lines), ...])`` with
-    CoverMe (if present) first.  Completed jobs found in the store are
-    loaded, everything else is executed and checkpointed via
+    CoverMe (if present) first.  Jobs go through a
+    :class:`~repro.service.CoverageService` (an inline one over ``store``
+    unless ``service`` is passed): completed jobs load from the result
+    cache, everything else executes and is checkpointed via
     :meth:`RunStore.put` the moment it finishes.  With ``execute=False``
     nothing runs; absent jobs are reported in ``missing_jobs`` (the
     ``repro render`` path).
     """
     case, tool_items = item
-    if store is None:
-        store = RunStore(None)
-    program = instrument_case(case) if execute else _instrument_for_lookup(case)
-    src_hash = source_hash(program)
-    domain = _domain_tag(case)
-    prof_fp = profile_fingerprint(profile)
-    stats = PipelineStats()
-    missing: list[str] = []
-    row = ComparisonRow(case=case, n_branches=program.n_branches)
-    coverme_effort = profile.baseline_min_executions
-
-    for tool_name, factory, measure_lines in tool_items:
-        stats.total += 1
-        tool = factory(profile)
-        if tool_name == "CoverMe":
-            budget = Budget(max_seconds=profile.coverme_time_budget)
-        else:
-            budget = _baseline_budget(profile, coverme_effort)
-        key = JobKey(
-            case_key=case.key,
-            tool=tool_name,
-            source_hash=src_hash,
-            tool_fingerprint=tool_fingerprint(tool),
-            profile_fingerprint=prof_fp,
-            budget_fingerprint=budget.fingerprint(),
-            seed=profile.seed,
-            measure_lines=measure_lines,
-            domain=domain,
-            profile_name=profile.name,
-        )
-        payload = store.get_satisfying(key) if resume else None
-        if payload is not None:
-            summary = summary_from_dict(payload["summary"])
-            evaluations = payload.get("tool_evaluations")
-            stats.loaded += 1
-        elif not execute:
-            stats.missing += 1
-            missing.append(key.case_key + "/" + key.tool)
-            continue
-        else:
-            summary = run_tool(
-                tool, program, budget, original=case.entry if measure_lines else None
-            )
-            evaluations = getattr(tool, "last_evaluations", None)
-            store.put(key, {"summary": summary_to_dict(summary), "tool_evaluations": evaluations})
-            stats.executed += 1
-        if tool_name == "CoverMe":
-            coverme_effort = max(evaluations or 0, profile.baseline_min_executions)
-        row.results[tool_name] = summary
-    return CaseOutcome(row=row, stats=stats, missing_jobs=missing)
+    if not execute:
+        return _lookup_case(case, tool_items, profile, store, resume)
+    owns = service is None
+    if owns:
+        service = CoverageService(store=store, worker_mode="inline", resume=resume)
+    try:
+        return _execute_cases([case], {case.key: tool_items}, profile, service, resume)[0]
+    finally:
+        if owns:
+            service.close(close_store=False)
 
 
 def execute_plan(
@@ -457,40 +440,50 @@ def execute_plan(
     execute: bool = True,
     n_workers: int = 1,
     worker_mode: str = "thread",
+    n_shards: Optional[int] = None,
+    service: Optional[CoverageService] = None,
 ) -> tuple[dict[str, ComparisonRow], PipelineStats, list[str]]:
-    """Execute a job plan, one case per worker-pool task.
+    """Execute a job plan through the coverage service.
 
-    Returns ``(rows_by_case_key, stats, missing_jobs)``.  Cases are
-    dispatched through :func:`parallel_map`; within a case jobs run in plan
-    order (CoverMe first) and are checkpointed to the store individually, so
-    killing the run loses at most the jobs in flight.
-
-    Persistent stores require ``serial`` or ``thread`` dispatch: process
-    workers cannot share the store's append handle, and silently dropping
-    their checkpoints would break resume.  (Ephemeral runs may use
-    ``process``; their per-job records are discarded by design.)
+    Returns ``(rows_by_case_key, stats, missing_jobs)``.  Jobs are
+    submitted to one shared :class:`~repro.service.CoverageService`
+    (constructed over ``store`` unless ``service`` is passed) in the
+    two-wave order of :func:`_execute_cases`; each job is checkpointed to
+    the store individually, so killing the run loses at most the jobs in
+    flight.  All dispatch modes -- including ``process`` -- work with
+    persistent stores: workers return payloads and the coordinating
+    process writes them.  Seeded results are bit-identical for every
+    ``n_workers``, ``worker_mode`` and ``n_shards`` (wall-time fields
+    aside, nothing in a stored record depends on scheduling).
     """
     factories = tool_factories if tool_factories is not None else TOOL_FACTORIES
-    shared_store = resolve_store_dispatch(worker_mode, n_workers, store)
-    items = []
-    for case in plan.cases:
-        tool_items = [
+    items_by_case = {
+        case.key: [
             (job.tool, factories[job.tool], job.measure_lines)
             for job in plan.jobs_by_case[case.key]
         ]
-        items.append((case, tool_items))
-    outcomes = parallel_map(
-        functools.partial(
-            execute_case,
-            profile=plan.profile,
-            store=shared_store,
-            resume=resume,
-            execute=execute,
-        ),
-        items,
-        n_workers=n_workers,
-        mode=worker_mode,
-    )
+        for case in plan.cases
+    }
+    if not execute:
+        outcomes = [
+            _lookup_case(case, items_by_case[case.key], plan.profile, store, resume)
+            for case in plan.cases
+        ]
+    else:
+        owns = service is None
+        if owns:
+            service = CoverageService(
+                store=store,
+                worker_mode=service_worker_mode(worker_mode, n_workers),
+                n_workers=n_workers,
+                n_shards=n_shards,
+                resume=resume,
+            )
+        try:
+            outcomes = _execute_cases(plan.cases, items_by_case, plan.profile, service, resume)
+        finally:
+            if owns:
+                service.close(close_store=False)
     stats = PipelineStats()
     missing: list[str] = []
     rows: dict[str, ComparisonRow] = {}
@@ -526,6 +519,7 @@ def run_specs(
     execute: bool = True,
     n_workers: int = 1,
     worker_mode: str = "thread",
+    n_shards: Optional[int] = None,
 ) -> RunReport:
     """Plan, execute and render a set of experiment specs as one batch.
 
@@ -541,7 +535,7 @@ def run_specs(
         plan = plan_jobs(suite_specs, profile, cases=cases)
         rows_by_case, stats, missing = execute_plan(
             plan, store=store, resume=resume, execute=True,
-            n_workers=n_workers, worker_mode=worker_mode,
+            n_workers=n_workers, worker_mode=worker_mode, n_shards=n_shards,
         )
         report.stats = stats
         report.missing_jobs = missing

@@ -1,11 +1,12 @@
 """Shared experiment infrastructure: profiles, tool adapters, table formatting.
 
 This module is the *configuration and rendering* layer of the experiments:
-profiles, the CoverMe tool adapter, row/table formatting.  Planning and
-execution live in :mod:`repro.experiments.pipeline`; the legacy
-:func:`run_case`/:func:`compare_tools` entry points remain as thin wrappers
-that execute through the pipeline (against an ephemeral store unless one is
-passed), so every experiment -- old-style or CLI-driven -- goes through the
+profiles, the CoverMe tool adapter, row/table formatting.  Planning lives
+in :mod:`repro.experiments.pipeline` and execution in
+:mod:`repro.service`; the legacy :func:`run_case`/:func:`compare_tools`
+entry points remain as thin wrappers that submit through the coverage
+service (against an ephemeral store unless one is passed), so every
+experiment -- old-style, CLI-driven or daemon-served -- goes through the
 same resumable execution path.
 """
 
@@ -178,45 +179,43 @@ def compare_tools(
 ) -> list[ComparisonRow]:
     """Run every tool on every benchmark case and collect per-row results.
 
-    Cases are independent of one another (each instruments its own program
-    and seeds its own tools), so with ``n_workers > 1`` they are dispatched
-    to the engine's worker pool and the rows are still returned in case
-    order regardless of worker count.  The default ``"thread"`` mode keeps
-    every factory usable (including closures) but the cases are CPU-bound
-    pure Python, so it mostly overlaps the NumPy/SciPy sections that release
-    the GIL; for real wall-clock speedup pass ``worker_mode="process"``,
-    which requires picklable ``tool_factories`` (module-level functions, not
-    lambdas).
+    Jobs go through one shared :class:`~repro.service.CoverageService`:
+    every case's CoverMe job is submitted up front, baselines follow as
+    their budgets resolve, and rows come back in case order regardless of
+    worker count.  The default ``"thread"`` mode keeps every factory usable
+    (including closures); ``worker_mode="process"`` executes in a
+    persistent worker-process pool -- including into persistent stores,
+    since workers return payloads and the coordinating process writes them
+    -- and requires picklable ``tool_factories`` (module-level functions,
+    not lambdas).
 
     Passing a :class:`~repro.store.RunStore` makes the run resumable:
     completed (case, tool) jobs are loaded from the store and new ones are
-    checkpointed as they finish (persistent stores require serial/thread
-    dispatch).
+    checkpointed as they finish.
     """
-    import functools
+    from repro.experiments.pipeline import (
+        _execute_cases,
+        select_cases,
+        service_worker_mode,
+        tool_items_for,
+    )
+    from repro.service import CoverageService
 
-    from repro.engine.pool import parallel_map
-    from repro.experiments.pipeline import resolve_store_dispatch, select_cases, tool_items_for
-
-    store = resolve_store_dispatch(worker_mode, n_workers, store)
     selected = select_cases(profile, cases)
     tool_items = tool_items_for(tool_factories, measure_lines)
-    outcomes = parallel_map(
-        functools.partial(
-            _case_task, tool_items=tool_items, profile=profile, store=store, resume=resume
-        ),
-        selected,
+    service = CoverageService(
+        store=store,
+        worker_mode=service_worker_mode(worker_mode, n_workers),
         n_workers=n_workers,
-        mode=worker_mode,
+        resume=resume,
     )
+    try:
+        outcomes = _execute_cases(
+            selected, {case.key: tool_items for case in selected}, profile, service, resume
+        )
+    finally:
+        service.close(close_store=False)
     return [outcome.row for outcome in outcomes]
-
-
-def _case_task(case, tool_items, profile, store, resume):
-    """Module-level pipeline task (picklable for process-mode dispatch)."""
-    from repro.experiments.pipeline import execute_case
-
-    return execute_case((case, tool_items), profile, store=store, resume=resume)
 
 
 def mean(values: Sequence[float]) -> float:

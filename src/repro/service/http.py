@@ -1,0 +1,363 @@
+"""Stdlib-only asyncio HTTP front end for the coverage service.
+
+``repro serve`` runs this daemon; it is deliberately a thin translation
+layer -- every decision (dedup, cache, budgets, backpressure) lives in
+:class:`~repro.service.core.CoverageService`, so daemon submissions and
+in-process submissions are indistinguishable below the socket.
+
+Endpoints (all JSON unless noted):
+
+* ``GET /healthz`` -- liveness probe: ``{"ok": true}``.
+* ``GET /stats`` -- service counters, queue depths, store size.
+* ``POST /jobs`` -- submit a job.  Body::
+
+      {"case": "<file>:<function>",      # required, e.g. "s_sin.c:sin"
+       "tool": "CoverMe",                # optional, default CoverMe
+       "profile": "smoke",               # optional, default smoke
+       "overrides": {"n_start": 6},      # optional Profile field overrides
+       "measure_lines": false}           # optional
+
+  Replies ``200`` with the job object when it resolved instantly (result
+  cache hit), ``202`` when queued/running, ``429`` when the admission
+  queue is full (backpressure -- retry later), ``400`` on a malformed
+  request.  The job object carries ``"job"`` (the fingerprint -- the
+  job's identity and URL segment), ``"state"``, ``"cached"``, and, once
+  done, ``"payload"`` plus any captured ``"warnings"``.
+* ``GET /jobs/<fingerprint>`` -- poll one job.
+* ``GET /jobs/<fingerprint>/events`` -- NDJSON stream of the job's event
+  log (queued/running/progress/warning/done), live until the job
+  finishes.  ``?from=N`` skips the first N events.
+* ``POST /shutdown`` -- graceful stop (the smoke-test/CI hook).
+
+Budgets follow the service rule: CoverMe jobs get the profile's
+wall-clock budget; baseline jobs derive from the case's stored CoverMe
+record when one exists, else the profile floor.  Submitting CoverMe first
+therefore reproduces the pipeline's budget chain exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import json
+import threading
+from typing import Optional
+
+from repro.experiments.runner import PROFILES, Profile
+from repro.fdlibm.suite import case_by_key
+from repro.service.core import CoverageService, ServiceClosed
+from repro.service.jobs import JobRequest
+from repro.service.queue import QueueFull
+
+_PHRASES = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    503: "Service Unavailable",
+}
+
+_MAX_BODY = 1 << 20  # 1 MiB: submit bodies are tiny; refuse anything huge
+
+
+class HTTPError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _profile_from_body(data: dict, profiles: dict[str, Profile]) -> Profile:
+    name = data.get("profile", "smoke")
+    if not isinstance(name, str) or name not in profiles:
+        known = ", ".join(sorted(profiles))
+        raise HTTPError(400, f"unknown profile {name!r}; known: {known}")
+    profile = profiles[name]
+    overrides = data.get("overrides") or {}
+    if not isinstance(overrides, dict):
+        raise HTTPError(400, "overrides must be an object")
+    if overrides:
+        known_fields = {f.name for f in dataclasses.fields(Profile)}
+        unknown = sorted(set(overrides) - known_fields)
+        if unknown:
+            raise HTTPError(400, f"unknown profile override(s): {', '.join(unknown)}")
+        try:
+            profile = dataclasses.replace(profile, **overrides)
+        except (TypeError, ValueError) as exc:
+            raise HTTPError(400, f"invalid profile override: {exc}") from exc
+    return profile
+
+
+class ServiceHTTPServer:
+    """One asyncio server wrapping one :class:`CoverageService`."""
+
+    def __init__(
+        self,
+        service: CoverageService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        profiles: Optional[dict[str, Profile]] = None,
+        poll_interval: float = 0.05,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self.profiles = profiles if profiles is not None else PROFILES
+        self.poll_interval = poll_interval
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown: Optional[asyncio.Event] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._shutdown = asyncio.Event()
+        self._server = await asyncio.start_server(self._handle_client, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def request_shutdown(self) -> None:
+        """Thread-unsafe half; call on the loop thread (or via
+        ``loop.call_soon_threadsafe``)."""
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    async def serve_until_shutdown(self) -> None:
+        await self._shutdown.wait()
+        self._server.close()
+        await self._server.wait_closed()
+
+    # -- request plumbing --------------------------------------------------
+
+    async def _handle_client(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+            except HTTPError as exc:
+                await self._respond(writer, exc.status, {"error": exc.message})
+                return
+            except (asyncio.IncompleteReadError, ValueError, UnicodeDecodeError):
+                await self._respond(writer, 400, {"error": "malformed request"})
+                return
+            try:
+                await self._route(writer, method, path, body)
+            except HTTPError as exc:
+                await self._respond(writer, exc.status, {"error": exc.message})
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _read_request(self, reader) -> tuple[str, str, bytes]:
+        request_line = await reader.readline()
+        if not request_line:
+            raise HTTPError(400, "empty request")
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise HTTPError(400, "malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        headers = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise HTTPError(400, "bad Content-Length") from None
+        if length > _MAX_BODY:
+            raise HTTPError(413, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method, target, body
+
+    async def _respond(self, writer, status: int, payload: dict) -> None:
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_PHRASES.get(status, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # -- routing -----------------------------------------------------------
+
+    async def _route(self, writer, method: str, target: str, body: bytes) -> None:
+        path, _, query = target.partition("?")
+        if path == "/healthz" and method == "GET":
+            await self._respond(writer, 200, {"ok": True})
+        elif path == "/stats" and method == "GET":
+            await self._respond(writer, 200, self.service.stats())
+        elif path == "/jobs" and method == "POST":
+            await self._submit(writer, body)
+        elif path.startswith("/jobs/") and method == "GET":
+            rest = path[len("/jobs/"):]
+            if rest.endswith("/events"):
+                await self._stream_events(writer, rest[: -len("/events")].rstrip("/"), query)
+            else:
+                await self._poll(writer, rest)
+        elif path == "/shutdown" and method == "POST":
+            await self._respond(writer, 200, {"ok": True, "shutting_down": True})
+            self.request_shutdown()
+        else:
+            raise HTTPError(404 if method in ("GET", "POST") else 405, f"no route for {method} {path}")
+
+    # -- handlers ----------------------------------------------------------
+
+    def _parse_submit(self, body: bytes) -> JobRequest:
+        try:
+            data = json.loads(body or b"{}")
+        except json.JSONDecodeError as exc:
+            raise HTTPError(400, f"invalid JSON body: {exc}") from exc
+        if not isinstance(data, dict):
+            raise HTTPError(400, "body must be a JSON object")
+        case_key = data.get("case")
+        if not isinstance(case_key, str):
+            raise HTTPError(400, 'missing required field "case" ("<file>:<function>")')
+        try:
+            case = case_by_key(case_key)
+        except KeyError as exc:
+            raise HTTPError(400, str(exc)) from exc
+        tool = data.get("tool", "CoverMe")
+        if not isinstance(tool, str):
+            raise HTTPError(400, "tool must be a string")
+        profile = _profile_from_body(data, self.profiles)
+        return JobRequest(
+            case=case,
+            tool=tool,
+            profile=profile,
+            measure_lines=bool(data.get("measure_lines", False)),
+        )
+
+    async def _submit(self, writer, body: bytes) -> None:
+        request = self._parse_submit(body)
+        try:
+            # block=False: a full queue is the client's problem (429), not
+            # a reason to stall the event loop.
+            job = self.service.submit(request, block=False)
+        except QueueFull as exc:
+            raise HTTPError(429, str(exc)) from exc
+        except ServiceClosed as exc:
+            raise HTTPError(503, str(exc)) from exc
+        except ValueError as exc:
+            raise HTTPError(400, str(exc)) from exc
+        await self._respond(writer, 200 if job.finished else 202, job.snapshot())
+
+    def _find_job(self, fingerprint: str):
+        job = self.service.job(fingerprint)
+        if job is None:
+            raise HTTPError(404, f"unknown job {fingerprint!r}")
+        return job
+
+    async def _poll(self, writer, fingerprint: str) -> None:
+        await self._respond(writer, 200, self._find_job(fingerprint).snapshot())
+
+    async def _stream_events(self, writer, fingerprint: str, query: str) -> None:
+        job = self._find_job(fingerprint)
+        sent = 0
+        if query.startswith("from="):
+            try:
+                sent = max(0, int(query[len("from="):]))
+            except ValueError:
+                raise HTTPError(400, "from must be an integer") from None
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        while True:
+            events = job.events_snapshot()
+            for event in events[sent:]:
+                writer.write((json.dumps(event) + "\n").encode("utf-8"))
+            sent = len(events)
+            await writer.drain()
+            if job.finished and sent == len(job.events_snapshot()):
+                return
+            await asyncio.sleep(self.poll_interval)
+
+
+# ---------------------------------------------------------------------------
+# Runners
+# ---------------------------------------------------------------------------
+
+
+def serve(
+    service: CoverageService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    profiles: Optional[dict[str, Profile]] = None,
+    announce=print,
+) -> None:
+    """Run the daemon until ``POST /shutdown`` (or KeyboardInterrupt).
+
+    Blocking; this is what ``repro serve`` calls.  ``announce`` receives
+    the single "listening on ..." line once the socket is bound (port 0
+    resolves to the actual ephemeral port first), which is what the CI
+    smoke job parses.
+    """
+
+    async def _amain() -> None:
+        server = ServiceHTTPServer(service, host, port, profiles)
+        await server.start()
+        announce(f"repro serve: listening on {server.address}")
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(_amain())
+    except KeyboardInterrupt:
+        pass
+
+
+@contextlib.contextmanager
+def serve_in_background(
+    service: CoverageService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    profiles: Optional[dict[str, Profile]] = None,
+):
+    """Run the daemon on a background thread; yields the started server.
+
+    Test/embedding helper: the caller talks HTTP to ``server.address``
+    and the daemon is shut down (gracefully) on context exit.  The
+    service itself is *not* closed -- its owner decides that.
+    """
+    loop = asyncio.new_event_loop()
+    server = ServiceHTTPServer(service, host, port, profiles)
+    started = threading.Event()
+    failures: list[BaseException] = []
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:  # noqa: BLE001 - reported to the caller
+            failures.append(exc)
+            started.set()
+            return
+        started.set()
+        loop.run_until_complete(server.serve_until_shutdown())
+
+    thread = threading.Thread(target=_run, name="repro-serve", daemon=True)
+    thread.start()
+    started.wait()
+    if failures:
+        raise failures[0]
+    try:
+        yield server
+    finally:
+        loop.call_soon_threadsafe(server.request_shutdown)
+        thread.join(timeout=10)
+        if not loop.is_running():
+            loop.close()

@@ -1,0 +1,111 @@
+"""Bounded, sharded admission queue.
+
+Admission is where the service says *no*: the queue holds at most
+``limit`` pending jobs across all shards, and a non-blocking ``put`` on a
+full queue raises :class:`QueueFull` -- which the HTTP daemon translates
+into ``429 Too Many Requests``.  Blocking producers (the pipeline, which
+would rather wait than drop work) park on the same condition until a
+worker drains a slot.
+
+Internally one deque per shard keeps per-shard FIFO order; workers take
+from the set of shards they own and sleep when all of them are empty.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Optional, Sequence
+
+
+class QueueFull(RuntimeError):
+    """Raised when admission is refused (bounded queue at capacity)."""
+
+    def __init__(self, limit: int):
+        super().__init__(f"admission queue full ({limit} pending jobs); retry later")
+        self.limit = limit
+
+
+class QueueClosed(RuntimeError):
+    """Raised when putting into (or draining from) a closed queue."""
+
+
+class AdmissionQueue:
+    """A bounded multi-shard FIFO with blocking and non-blocking admission."""
+
+    def __init__(self, n_shards: int, limit: Optional[int] = None):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if limit is not None and limit < 1:
+            raise ValueError("limit must be >= 1 (or None for unbounded)")
+        self.limit = limit
+        self._shards: list[deque] = [deque() for _ in range(n_shards)]
+        self._cond = threading.Condition()
+        self._pending = 0
+        self._closed = False
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def put(self, job, shard: int, block: bool = True, timeout: Optional[float] = None) -> None:
+        """Admit ``job`` into ``shard``.
+
+        With ``block=False`` a full queue raises :class:`QueueFull`
+        immediately (the daemon's backpressure path).  With ``block=True``
+        the caller waits for a slot, up to ``timeout`` seconds
+        (:class:`QueueFull` on expiry).
+        """
+        with self._cond:
+            if self._closed:
+                raise QueueClosed("admission queue is closed")
+            while self.limit is not None and self._pending >= self.limit:
+                if not block:
+                    raise QueueFull(self.limit)
+                if not self._cond.wait(timeout):
+                    raise QueueFull(self.limit)
+                if self._closed:
+                    raise QueueClosed("admission queue is closed")
+            self._shards[shard].append(job)
+            self._pending += 1
+            self._cond.notify_all()
+
+    def take(self, shards: Sequence[int]):
+        """Pop the next job from the first non-empty shard in ``shards``.
+
+        Blocks until a job is available on one of the caller's shards or
+        the queue closes; returns ``None`` on close (worker shutdown
+        signal).
+        """
+        with self._cond:
+            while True:
+                for shard in shards:
+                    if self._shards[shard]:
+                        job = self._shards[shard].popleft()
+                        self._pending -= 1
+                        self._cond.notify_all()
+                        return job
+                if self._closed:
+                    return None
+                self._cond.wait()
+
+    def close(self) -> list:
+        """Close the queue, waking all waiters; returns the drained backlog."""
+        with self._cond:
+            self._closed = True
+            drained = [job for shard in self._shards for job in shard]
+            for shard in self._shards:
+                shard.clear()
+            self._pending = 0
+            self._cond.notify_all()
+        return drained
+
+    def depths(self) -> list[int]:
+        """Pending jobs per shard (a point-in-time snapshot for /stats)."""
+        with self._cond:
+            return [len(shard) for shard in self._shards]
+
+    @property
+    def pending(self) -> int:
+        with self._cond:
+            return self._pending

@@ -1,0 +1,62 @@
+"""The persistent warm worker pool: dispatcher threads owning shards.
+
+Each worker is a long-lived thread that owns a fixed subset of shards
+(``shard % n_workers == worker_index``) and loops taking jobs from the
+admission queue and handing them to the service's job handler.  Because
+workers persist across jobs, everything cached at process level -- the
+instrumented-source cache, the specialization cache, the native-kernel
+cache -- stays hot from one job to the next; that is the whole point of a
+*warm* pool versus spawning per job.
+
+In ``process`` mode these threads are still the dispatchers; the handler
+forwards execution to a persistent ``ProcessPoolExecutor`` owned by the
+service, so the same warm-cache argument applies to the worker processes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+
+class WorkerPool:
+    """``n_workers`` daemon threads draining an :class:`AdmissionQueue`.
+
+    ``handler(job, worker_id)`` must never raise: job failures are folded
+    into the job object by the service, and a handler exception would
+    silently kill a worker thread (and orphan its shards).
+    """
+
+    def __init__(self, queue, handler: Callable, n_workers: int, n_shards: int):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self._queue = queue
+        self._handler = handler
+        self._threads: list[threading.Thread] = []
+        for index in range(n_workers):
+            shards = tuple(s for s in range(n_shards) if s % n_workers == index)
+            thread = threading.Thread(
+                target=self._loop,
+                args=(index, shards),
+                name=f"repro-service-worker-{index}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._threads)
+
+    def _loop(self, worker_id: int, shards: tuple[int, ...]) -> None:
+        while True:
+            job = self._queue.take(shards)
+            if job is None:  # queue closed: drain complete, retire
+                return
+            self._handler(job, worker_id)
+
+    def join(self, timeout: float = 30.0) -> None:
+        """Wait for all workers to retire (call after closing the queue)."""
+        deadline = timeout
+        for thread in self._threads:
+            thread.join(deadline)

@@ -34,10 +34,16 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import tempfile
 import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Optional
+
+try:  # advisory inter-process locking; absent on non-POSIX platforms
+    import fcntl
+except ImportError:  # pragma: no cover - POSIX-only dependency
+    fcntl = None
 
 from repro.store.serialize import (
     SCHEMA_VERSION,
@@ -85,9 +91,14 @@ class RunStore:
 
     Thread-safe for concurrent :meth:`put`/:meth:`get` (one lock guards the
     in-memory index and the file append), so thread-mode case workers can
-    checkpoint jobs as they complete.  Not safe for concurrent writers in
-    *separate processes*; the pipeline refuses process-mode dispatch into a
-    persistent store for that reason.
+    checkpoint jobs as they complete.  Appends are additionally guarded by an
+    advisory ``fcntl`` lock on ``runs.jsonl`` (where available), so separate
+    *processes* -- a running daemon plus a concurrent ``repro run``, or two
+    CLI invocations pointed at the same store -- can append to one store
+    without tearing or merging each other's lines.  Each writer's in-memory
+    index only reflects records it loaded or wrote itself; cross-process
+    visibility requires reopening the store (the service layer therefore
+    funnels all writes of one coordinator through one process).
     """
 
     def __init__(self, root: "Path | str | None" = None):
@@ -133,17 +144,41 @@ class RunStore:
             )
 
     def _materialize(self) -> None:
-        """Create the store directory and ``meta.json`` (first write only).
+        """Create the store directory and ``meta.json``, open the append
+        handle (first write only).
 
         Also the only point where a torn tail is physically truncated:
         loading merely skips it, so opening a store for reading never
         writes, while the first append cannot concatenate onto torn bytes.
+        Concurrent writers race here safely: the directory create is
+        idempotent, ``meta.json`` is written atomically (temp file +
+        ``os.replace``, so a reader never sees a half-written file), and the
+        torn-tail truncate runs under the append handle's advisory lock.
         """
         self.root.mkdir(parents=True, exist_ok=True)
         if not self.meta_path.exists():
-            self.meta_path.write_text(json.dumps({"schema": SCHEMA_VERSION}) + "\n")
-        if self.runs_path.exists():
+            fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".meta-", suffix=".tmp")
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps({"schema": SCHEMA_VERSION}) + "\n")
+            os.replace(tmp, self.meta_path)
+        self._handle = self.runs_path.open("a", encoding="utf-8")
+        self._flock(self._handle)
+        try:
             self._truncate_torn_tail()
+        finally:
+            self._funlock(self._handle)
+
+    @staticmethod
+    def _flock(handle) -> None:
+        """Take the advisory inter-process lock on ``handle`` (no-op where
+        ``fcntl`` is unavailable; the instance lock still serializes threads)."""
+        if fcntl is not None:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+
+    @staticmethod
+    def _funlock(handle) -> None:
+        if fcntl is not None:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
     def _truncate_torn_tail(self) -> None:
         """Drop a partial final line left by a process killed mid-append.
@@ -213,10 +248,17 @@ class RunStore:
             if self.root is not None:
                 if self._handle is None:
                     self._materialize()
-                    self._handle = self.runs_path.open("a", encoding="utf-8")
-                self._handle.write(line + "\n")
-                self._handle.flush()
-                os.fsync(self._handle.fileno())
+                # One flock-guarded write+flush per record: the O_APPEND
+                # handle always lands at the current end of file, and the
+                # advisory lock keeps a concurrent writer in another process
+                # from interleaving bytes within our line.
+                self._flock(self._handle)
+                try:
+                    self._handle.write(line + "\n")
+                    self._handle.flush()
+                    os.fsync(self._handle.fileno())
+                finally:
+                    self._funlock(self._handle)
 
     def __len__(self) -> int:
         return len(self._records)

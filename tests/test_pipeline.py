@@ -25,7 +25,7 @@ from repro.experiments.pipeline import (
 )
 from repro.experiments.runner import PROFILES, Profile, instrument_case
 from repro.fdlibm.suite import BENCHMARKS, DEFAULT_INPUT_BOUND, get_case
-from repro.store import RunStore
+from repro.store import RunStore, canonical_json
 
 #: Deterministic profile: no wall-clock budgets, so coverage and execution
 #: counts depend only on the seed and byte-identical re-rendering is exact.
@@ -39,6 +39,25 @@ DET_PROFILE = Profile(
     baseline_min_executions=200,
     seed=0,
 )
+
+
+def _normalized_records(runs_path) -> list[str]:
+    """Canonical ``runs.jsonl`` record lines with the one wall-clock field
+    zeroed, sorted by content.
+
+    ``wall_time`` is the single stored field that depends on the clock
+    rather than the seed; append order depends on scheduling.  Everything
+    else must be byte-identical across entry points, worker modes and
+    shard counts, which is exactly what comparing these lists asserts.
+    """
+    import json
+
+    lines = []
+    for line in runs_path.read_text().splitlines():
+        record = json.loads(line)
+        record["payload"]["summary"]["wall_time"] = 0.0
+        lines.append(canonical_json(record))
+    return sorted(lines)
 
 
 class TestPlanning:
@@ -158,11 +177,23 @@ class TestResumableExecution:
         assert len(report.missing_jobs) == report.stats.missing > 0
         assert "table2" not in report.rendered
 
-    def test_persistent_store_rejects_process_dispatch(self, tmp_path):
-        with RunStore(tmp_path / "store") as store:
-            plan = plan_jobs([get_spec("table2")], DET_PROFILE)
-            with pytest.raises(ValueError, match="persistent store"):
-                execute_plan(plan, store=store, n_workers=2, worker_mode="process")
+    def test_process_dispatch_checkpoints_into_persistent_store(self, tmp_path):
+        """Process-mode dispatch into a persistent store works (service
+        workers execute, the coordinating process writes) and its records
+        match thread-mode records byte-for-byte, wall time aside."""
+        plan = plan_jobs([get_spec("table2")], DET_PROFILE)
+        with RunStore(tmp_path / "process-store") as store:
+            _, stats, _ = execute_plan(plan, store=store, n_workers=2, worker_mode="process")
+            assert stats.executed == stats.total > 0
+        with RunStore(tmp_path / "thread-store") as store:
+            execute_plan(plan, store=store, n_workers=2, worker_mode="thread")
+        process_lines = _normalized_records(tmp_path / "process-store" / "runs.jsonl")
+        thread_lines = _normalized_records(tmp_path / "thread-store" / "runs.jsonl")
+        assert process_lines == thread_lines
+        # Resuming from the process-written store loads everything.
+        with RunStore(tmp_path / "process-store") as store:
+            _, stats, _ = execute_plan(plan, store=store, n_workers=2, worker_mode="process")
+            assert stats.executed == 0 and stats.loaded == stats.total
 
     def test_changing_seed_invalidates_cached_jobs(self, tmp_path):
         profile = dataclasses.replace(DET_PROFILE, max_cases=1)

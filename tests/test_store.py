@@ -277,3 +277,55 @@ class TestRunStore:
             assert store.get(key) == {"summary": {"v": 2}}
         with RunStore(root) as reloaded:
             assert reloaded.get(key) == {"summary": {"v": 2}}
+
+
+class TestMultiProcessWriters:
+    """The fcntl advisory lock makes concurrent multi-process appends safe."""
+
+    def test_two_processes_hammer_one_store(self, tmp_path):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        root = tmp_path / "store"
+        per_writer = 40
+        script = (
+            "import sys, json\n"
+            f"sys.path.insert(0, {str(Path(__file__).resolve().parents[1] / 'src')!r})\n"
+            "from repro.store import JobKey, RunStore\n"
+            "writer, n, root = sys.argv[1], int(sys.argv[2]), sys.argv[3]\n"
+            "store = RunStore(root)\n"
+            "try:\n"
+            "    for i in range(n):\n"
+            "        key = JobKey(case_key=f'case-{writer}-{i}', tool='Rand',\n"
+            "                     source_hash='s', tool_fingerprint='t',\n"
+            "                     profile_fingerprint='p', seed=i)\n"
+            "        # A payload long enough that an unguarded interleaved\n"
+            "        # write would visibly tear the JSON line.\n"
+            "        store.put(key, {'summary': {'writer': writer, 'i': i, 'pad': 'x' * 512}})\n"
+            "finally:\n"
+            "    store.close()\n"
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, writer, str(per_writer), str(root)],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+            )
+            for writer in ("a", "b")
+        ]
+        for proc in procs:
+            _, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err.decode()
+        # Every line parses (no torn or merged appends) and every record of
+        # both writers survives.
+        lines = (root / "runs.jsonl").read_text().splitlines()
+        assert len(lines) == 2 * per_writer
+        records = [json.loads(line) for line in lines]
+        seen = {
+            (rec["payload"]["summary"]["writer"], rec["payload"]["summary"]["i"])
+            for rec in records
+        }
+        assert seen == {(w, i) for w in ("a", "b") for i in range(per_writer)}
+        with RunStore(root) as reloaded:
+            assert len(reloaded) == 2 * per_writer
