@@ -17,6 +17,11 @@ branch-dense Fdlibm functions and asserts the runtime guarantees:
   nothing, so the native tier must carry them (the gate self-skips when no C
   compiler is present; ``REPRO_FORCE_NATIVE_BENCH=1`` forces it, e.g. in CI
   where a toolchain is guaranteed);
+* the threaded ``sp_batch_mt`` entry at 4096-row batches is at least 1.5x
+  faster at 4 threads than at 1 (geomean over the workload), with the sweep
+  asserted bit-identical across thread counts -- this gate additionally
+  self-skips on machines with fewer than 4 cores, where the speedup cannot
+  physically materialize (``REPRO_FORCE_NATIVE_BENCH=1`` forces it too);
 * all profiles compute bit-identical objective values;
 * the epoch protocol compiles exactly one variant per (mask, epsilon) and
   performs zero re-specializations while the saturation mask is unchanged.
@@ -71,6 +76,12 @@ POINTS = 150
 #: dispatch constant.  Values are still asserted bit-identical on the exact
 #: scalar point set.
 BATCH_POINTS = 1024
+#: Rows per call for the multi-threaded sweep: large enough that the
+#: per-thread chunks amortize pthread create/join, matching the engine's
+#: primed multi-start sweeps.
+MT_BATCH_POINTS = 4096
+MT_THREAD_SWEEP = (1, 2, 4)
+MT_VS_SINGLE_TARGET = 1.5
 REPEATS = 6
 
 
@@ -147,6 +158,10 @@ def _native_batched_throughput(program, tracker, points) -> tuple[float, list[fl
     degradations to the batched kernel) and followed the epoch protocol
     (one kernel build for the unchanged mask).
     """
+    # Pre-warm the kernel through the blocking path: the respecialization
+    # assertion below counts swaps, and under the non-blocking default the
+    # first call would serve the specialized tier while cc runs.
+    program.native_kernel(tracker.saturated_mask)
     representing = RepresentingFunction(
         program, tracker, profile=ExecutionProfile.PENALTY_NATIVE
     )
@@ -168,6 +183,38 @@ def _native_batched_throughput(program, tracker, points) -> tuple[float, list[fl
     return BATCH_POINTS / best, [float(v) for v in values]
 
 
+def _native_mt_throughput(program, tracker) -> dict[int, float]:
+    """Thread-sweep of the ``sp_batch_mt`` entry at a 4096-row batch.
+
+    Times the same compiled kernel at each thread count of
+    :data:`MT_THREAD_SWEEP` and asserts every sweep point computes
+    bit-identical values -- the fixed-order OR-merge is the mt entry's core
+    contract, so a divergence here is a correctness bug, not noise.
+    """
+    kernel = program.native_kernel(tracker.saturated_mask)
+    X = np.ascontiguousarray(
+        np.random.default_rng(13).normal(scale=10.0, size=(MT_BATCH_POINTS, program.arity))
+    )
+    reference = None
+    rates: dict[int, float] = {}
+    for n_threads in MT_THREAD_SWEEP:
+        r, _ = kernel(X, n_threads=n_threads)  # warm-up + identity capture
+        bits = r.view(np.uint64).tolist()
+        if reference is None:
+            reference = bits
+        else:
+            assert bits == reference, (
+                f"n_threads={n_threads} diverges bitwise from single-thread"
+            )
+        best = float("inf")
+        for _ in range(REPEATS):
+            started = time.perf_counter()
+            kernel(X, n_threads=n_threads)
+            best = min(best, time.perf_counter() - started)
+        rates[n_threads] = MT_BATCH_POINTS / best
+    return rates
+
+
 def _geomean(ratios: list[float]) -> float:
     return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
 
@@ -183,9 +230,13 @@ def test_eval_throughput_and_profile_equivalence(bench_report_dir):
     batched_vs_specialized = []
     native_vs_batched = []
     native_vs_batched_rows = []
+    mt_vs_single = []
     batched_available = batch_numpy_available()
     force_native = os.environ.get("REPRO_FORCE_NATIVE_BENCH") == "1"
     native_available = batched_available and (cc_available() or force_native)
+    # The mt gate needs real parallelism to pass: skip it below 4 cores
+    # unless forced (CI runners guarantee 4 vCPUs and set the force flag).
+    mt_available = native_available and ((os.cpu_count() or 1) >= 4 or force_native)
     for name, case in cases:
         program, tracker, points = _prepared(case)
         rates: dict[str, float] = {}
@@ -240,6 +291,14 @@ def test_eval_throughput_and_profile_equivalence(bench_report_dir):
                 native_vs_batched.append(native_ratio)
                 if batched_mode == "rows":
                     native_vs_batched_rows.append(native_ratio)
+                if mt_available:
+                    mt_rates = _native_mt_throughput(program, tracker)
+                    mt_ratio = mt_rates[MT_THREAD_SWEEP[-1]] / mt_rates[1]
+                    per_function[name]["native-mt"] = {
+                        str(k): v for k, v in mt_rates.items()
+                    }
+                    per_function[name]["mt_vs_single_thread"] = mt_ratio
+                    mt_vs_single.append(mt_ratio)
 
     geomean = _geomean(ratios)
     specialized_geomean = _geomean(specialized_ratios)
@@ -249,6 +308,7 @@ def test_eval_throughput_and_profile_equivalence(bench_report_dir):
     native_rows_geomean = (
         _geomean(native_vs_batched_rows) if native_vs_batched_rows else None
     )
+    mt_geomean = _geomean(mt_vs_single) if mt_vs_single else None
     report = {
         "workload": [name for name, _ in cases],
         "points_per_function": POINTS * (REPEATS + 1),
@@ -261,6 +321,11 @@ def test_eval_throughput_and_profile_equivalence(bench_report_dir):
         "native_vs_batched_geomean": native_geomean,
         "native_vs_batched_rows_geomean": native_rows_geomean,
         "native_available": native_available,
+        "mt_vs_single_thread_geomean": mt_geomean,
+        "mt_thread_sweep": list(MT_THREAD_SWEEP),
+        "mt_batch_points": MT_BATCH_POINTS,
+        "mt_available": mt_available,
+        "mt_target_speedup": MT_VS_SINGLE_TARGET,
         "target_speedup": TARGET_SPEEDUP,
         "specialized_target_speedup": SPECIALIZED_TARGET_SPEEDUP,
         "specialized_vs_penalty_target": SPECIALIZED_VS_PENALTY_TARGET,
@@ -294,6 +359,12 @@ def test_eval_throughput_and_profile_equivalence(bench_report_dir):
             f"native vs batched: geomean {native_geomean:.2f}x "
             f"over {len(native_vs_batched)} functions{rows_note}"
         )
+    if mt_geomean is not None:
+        print(
+            f"native mt {MT_THREAD_SWEEP[-1]} threads vs 1: geomean "
+            f"{mt_geomean:.2f}x over {len(mt_vs_single)} functions "
+            f"at {MT_BATCH_POINTS}-row batches"
+        )
     for name, stats in per_function.items():
         batched_note = ""
         if "penalty-batched" in stats:
@@ -306,6 +377,8 @@ def test_eval_throughput_and_profile_equivalence(bench_report_dir):
                 f"native {stats['penalty-native-batch']:>12,.0f}/s "
                 f"{stats['native_vs_batched']:.2f}x  "
             ) + batched_note
+        if "mt_vs_single_thread" in stats:
+            batched_note = f"mt {stats['mt_vs_single_thread']:.2f}x  " + batched_note
         print(
             f"  {name:20s} {batched_note}"
             f"specialized {stats['penalty-specialized']:>10,.0f}/s  "
@@ -348,6 +421,21 @@ def test_eval_throughput_and_profile_equivalence(bench_report_dir):
         assert native_rows_geomean >= NATIVE_VS_BATCHED_ROWS_TARGET, (
             f"expected >= {NATIVE_VS_BATCHED_ROWS_TARGET}x native vs batched on "
             f"rows-mode programs, measured {native_rows_geomean:.2f}x"
+        )
+    if mt_geomean is None:
+        # Fewer than 4 cores (or no native tier at all): the threaded entry
+        # cannot demonstrate parallel speedup here.  CI runs with 4 vCPUs
+        # and REPRO_FORCE_NATIVE_BENCH=1, so the gate cannot silently vanish
+        # where the hardware supports it.
+        print(
+            "mt gate skipped: <4 cores or no C compiler "
+            "(set REPRO_FORCE_NATIVE_BENCH=1 to force)"
+        )
+    else:
+        assert mt_geomean >= MT_VS_SINGLE_TARGET, (
+            f"expected >= {MT_VS_SINGLE_TARGET}x mt ({MT_THREAD_SWEEP[-1]} threads) "
+            f"vs single-thread at {MT_BATCH_POINTS}-row batches, "
+            f"measured {mt_geomean:.2f}x"
         )
 
 

@@ -76,6 +76,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="basin-hopping perturbation candidates screened per hop "
             "(default 1 = the paper's single-proposal trajectory)",
         )
+        p.add_argument(
+            "--native-threads", type=int, default=None, metavar="K",
+            help="C threads per native batched evaluation (penalty-native "
+            "profile; results are bit-identical for every value)",
+        )
 
     run_p = sub.add_parser("run", help="execute specs (resuming from the store) and render them")
     run_p.add_argument("specs", nargs="+", choices=available_specs(), metavar="SPEC")
@@ -184,6 +189,8 @@ def _resolve_profile(args):
         overrides["batch_starts"] = args.batch_starts
     if getattr(args, "proposal_population", None) is not None:
         overrides["proposal_population"] = args.proposal_population
+    if getattr(args, "native_threads", None) is not None:
+        overrides["native_threads"] = args.native_threads
     return dataclasses.replace(profile, **overrides) if overrides else profile
 
 
@@ -323,6 +330,7 @@ def _serve(args) -> int:
 
 def _native_cache(args) -> int:
     from repro.instrument.native.cache import (
+        disk_cache_max,
         native_cache_dir,
         native_cache_entries,
         native_clean_disk_cache,
@@ -333,11 +341,16 @@ def _native_cache(args) -> int:
         removed = native_clean_disk_cache()
         print(f"native cache {directory}: removed {removed} kernels")
         return 0
+    bound = disk_cache_max()
     entries = native_cache_entries()
     if not entries:
-        print(f"native cache {directory}: empty")
+        print(f"native cache {directory}: empty (bound {bound})")
         return 0
-    print(f"native cache {directory}: {len(entries)} kernels")
+    total = sum(entry["size"] for entry in entries)
+    print(
+        f"native cache {directory}: {len(entries)} kernels, "
+        f"{total} bytes total (bound {bound})"
+    )
     print(f"{'digest':<18s}{'size':>10s}  source")
     for entry in entries:
         print(

@@ -91,6 +91,13 @@ class CoverMeConfig:
             default) reproduces the historical single-proposal trajectory
             exactly; larger values batch-evaluate the whole population per
             hop and descend from the best candidate.
+        native_threads: Native-tier batch threads.  Under the
+            ``penalty-native`` profile, batched evaluations run the emitted
+            ``sp_batch_mt`` entry with this many C threads (private
+            covered-bit partials merged in fixed thread-index order, so
+            ``r`` and the covered set are bit-identical for any value).  1
+            (the default) keeps the serial row loop.  Result-neutral, like
+            ``n_workers``, and therefore excluded from store fingerprints.
         progress: Optional observer called by the engine after each batch
             reduction with a dict of running counters (batch index, starts
             issued/used, evaluations, covered/saturated branch counts).  It
@@ -124,6 +131,7 @@ class CoverMeConfig:
     memoize: bool = True
     batch_starts: bool = True
     proposal_population: int = 1
+    native_threads: int = 1
     progress: Optional[Callable[[dict], None]] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
@@ -168,6 +176,8 @@ class CoverMeConfig:
             raise ValueError(f"unknown eval profile {self.eval_profile!r}; known: {known}")
         if self.proposal_population < 1:
             raise ValueError("proposal_population must be >= 1")
+        if self.native_threads < 1:
+            raise ValueError("native_threads must be >= 1")
         if self.progress is not None and not callable(self.progress):
             raise ValueError("progress must be a callable (or None)")
 

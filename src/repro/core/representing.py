@@ -30,7 +30,11 @@ specialized lowering is compiled to a shared object
 (:mod:`repro.instrument.native`) and both ``__call__`` and
 ``evaluate_batch`` dispatch to it, degrading to ``PENALTY_SPECIALIZED``
 with a one-time per-instance warning when no C compiler is present or the
-program cannot be emitted.  All profiles compute bit-identical values;
+program cannot be emitted.  Cold compiles do not block: the build runs on
+the background worker while calls are served by the specialized tier (no
+warning — that state is transient, counted in ``native_pending_calls``)
+and the kernel swaps in at the next call/batch boundary once the build
+lands.  All profiles compute bit-identical values;
 callers that need coverage
 from a specific point (e.g. an accepted minimum) re-execute it via
 :meth:`RepresentingFunction.evaluate_with_coverage`, which under the
@@ -50,7 +54,11 @@ from repro.core.branch_distance import DEFAULT_EPSILON
 from repro.core.pen import CoverMePenalty
 from repro.core.saturation import SaturationTracker
 from repro.instrument.batch import numpy_available as _batch_numpy_available
-from repro.instrument.native.cache import NativeUnavailable
+from repro.instrument.native.cache import (
+    NativeCompiling,
+    NativeUnavailable,
+    background_ready,
+)
 from repro.instrument.program import InstrumentedProgram
 from repro.instrument.runtime import (
     CoverageOutcome,
@@ -79,11 +87,13 @@ class RepresentingFunction:
         tracker: Optional[SaturationTracker] = None,
         epsilon: float = DEFAULT_EPSILON,
         profile: ExecutionProfile | str = ExecutionProfile.FULL_TRACE,
+        native_threads: int = 1,
     ):
         self.program = program
         self.tracker = tracker if tracker is not None else SaturationTracker(program)
         self.epsilon = epsilon
         self.profile = ExecutionProfile(profile)
+        self.native_threads = max(1, int(native_threads))
         self.evaluations = 0
         self.last_record: Optional[ExecutionRecord] = None
         self.last_value: Optional[float] = None
@@ -101,11 +111,25 @@ class RepresentingFunction:
         # Native-kernel epoch state.  ``_native_ok`` latches False on the
         # first NativeUnavailable (no compiler, non-emittable program): the
         # instance degrades to the scalar specialized tier permanently, with
-        # one warning.  Warn-once bookkeeping is per-instance so a fresh
-        # RepresentingFunction (or a cleared cache) warns again.
+        # one warning.  A cold compile is *transient* instead: it runs on
+        # the background worker (NativeCompiling), ``_native_pending`` holds
+        # its digest, and calls are served by the specialized tier — no
+        # warning — until the poll sees the build land and the kernel swaps
+        # in at the next call/batch boundary.  Warn-once bookkeeping is
+        # per-instance so a fresh RepresentingFunction (or a cleared cache)
+        # warns again.
         self._native_kernel = None
         self.native_respecializations = 0
         self._native_ok = True
+        self._native_pending: Optional[str] = None
+        self.native_pending_calls = 0
+        # Caller-held accumulator for the native tier's incremental covered
+        # reduction, keyed to the kernel it feeds; ``last_new_covered_mask``
+        # is the newly-set bits of the most recent native batch, in the form
+        # SaturationTracker.add_covered_mask consumes.
+        self._native_acc = None
+        self._native_acc_kernel = None
+        self.last_new_covered_mask = 0
         self._warned: set[str] = set()
         self._arity = program.arity
         self._native = self.profile is ExecutionProfile.PENALTY_NATIVE
@@ -196,18 +220,31 @@ class RepresentingFunction:
             return np.empty(0, dtype=np.float64)
         if self._specialized and _batch_numpy_available():
             mask = self.tracker.saturated_mask
-            kernel = None
+            native = None
             if self._native and self._native_ok:
-                kernel = self._native_kernel
-                if kernel is None or kernel.saturated_mask != mask:
-                    kernel = self._native_kernel_for(mask)
-            if kernel is None:
+                native = self._native_kernel
+                if native is None or native.saturated_mask != mask:
+                    native = self._native_kernel_for(mask)
+            if native is not None:
+                # Incremental reduction: the accumulator carries covered
+                # words across calls, so each batch reports only newly-set
+                # bits (ready for SaturationTracker.add_covered_mask).
+                acc = self._native_acc
+                if acc is None or self._native_acc_kernel is not native:
+                    acc = native.new_accumulator()
+                    self._native_acc = acc
+                    self._native_acc_kernel = native
+                raw, new_mask = native(
+                    X, n_threads=self.native_threads, accumulator=acc
+                )
+                self.last_new_covered_mask = new_mask
+            else:
                 kernel = self._batch_kernel
                 if kernel is None or kernel.saturated_mask != mask:
                     kernel = self.program.batch_kernel(mask, self.epsilon)
                     self._batch_kernel = kernel
                     self.batch_respecializations += 1
-            raw, _cov = kernel(X)
+                raw, _cov = kernel(X)
             out = np.where(np.isfinite(raw), raw, _CLAMP)
             self.evaluations += n
             self.batched_calls += 1
@@ -285,20 +322,38 @@ class RepresentingFunction:
     def _native_kernel_for(self, mask):
         """Fetch/build the native kernel for ``mask``, degrading on failure.
 
-        Returns ``None`` after latching ``_native_ok`` False (and warning
-        once for this instance) when the native tier cannot serve this
-        program; the caller falls through to the scalar specialized tier.
+        Returns ``None`` when the native tier cannot serve this call; the
+        caller falls through to the scalar specialized tier.  The two
+        failure states are reported distinctly: a *permanent*
+        ``NativeUnavailable`` (no compiler, non-emittable program, failed
+        build) latches ``_native_ok`` False and warns once, while a
+        *transient* ``NativeCompiling`` (the background ``cc`` is still
+        running) never warns — ``native_pending_calls`` counts the calls
+        the specialized tier absorbed, and the kernel swaps in at the next
+        boundary once :func:`background_ready` sees the build land.
         """
+        pending = self._native_pending
+        if pending is not None and not background_ready(pending):
+            # Cheap poll: the background build is still running; don't
+            # re-enter the emitter on every evaluation.
+            self.native_pending_calls += 1
+            return None
         try:
-            kernel = self.program.native_kernel(mask, self.epsilon)
+            kernel = self.program.native_kernel(mask, self.epsilon, wait=False)
+        except NativeCompiling as exc:
+            self._native_pending = exc.digest
+            self.native_pending_calls += 1
+            return None
         except NativeUnavailable as exc:
             self._native_ok = False
+            self._native_pending = None
             self._warn_instance(
                 "native-degraded",
-                f"native tier unavailable ({exc}); degrading to the scalar "
-                "specialized tier",
+                f"native tier permanently unavailable ({exc}); degrading to "
+                "the scalar specialized tier",
             )
             return None
+        self._native_pending = None
         self._native_kernel = kernel
         self.native_respecializations += 1
         return kernel

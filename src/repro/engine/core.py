@@ -112,6 +112,7 @@ class SearchEngine:
             memoize=config.memoize,
             batch_starts=config.batch_starts,
             proposal_population=config.proposal_population,
+            native_threads=config.native_threads,
         )
 
         inputs: list[tuple[float, ...]] = []

@@ -72,6 +72,7 @@ class StartParams:
     memoize: bool = True
     batch_starts: bool = True
     proposal_population: int = 1
+    native_threads: int = 1
 
 
 @dataclass(frozen=True)
@@ -136,7 +137,8 @@ def prime_chunk(
         return None
     tracker = SaturationTracker(program, covered=set(covered), infeasible=set(infeasible))
     representing = RepresentingFunction(
-        program, tracker, epsilon=params.epsilon, profile=params.eval_profile
+        program, tracker, epsilon=params.epsilon, profile=params.eval_profile,
+        native_threads=params.native_threads,
     )
     X = np.ascontiguousarray([t.x0 for t in eligible], dtype=np.float64)
     values = representing.evaluate_batch(X)
@@ -167,7 +169,8 @@ def run_start(
     # below with at least COVERAGE to harvest branches.  All profiles compute
     # bit-identical values, so this choice never changes seeded results.
     representing = RepresentingFunction(
-        program, tracker, epsilon=params.epsilon, profile=params.eval_profile
+        program, tracker, epsilon=params.epsilon, profile=params.eval_profile,
+        native_threads=params.native_threads,
     )
     # Within one start the saturation snapshot is frozen, so FOO_R is a pure
     # function of the input bits and memoizing it is sound.  The memo wraps

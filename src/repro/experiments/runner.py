@@ -47,6 +47,7 @@ class Profile:
     eval_profile: str = "penalty"
     batch_starts: bool = True
     proposal_population: int = 1
+    native_threads: int = 1
 
     def coverme_config(self) -> CoverMeConfig:
         return CoverMeConfig(
@@ -60,6 +61,7 @@ class Profile:
             eval_profile=self.eval_profile,
             batch_starts=self.batch_starts,
             proposal_population=self.proposal_population,
+            native_threads=self.native_threads,
         )
 
 

@@ -29,13 +29,19 @@ the row out to the scalar variant.  Machines without a C compiler degrade to
 """
 
 from repro.instrument.native.cache import (
+    NativeCompiling,
     NativeUnavailable,
+    background_compile_stats,
+    background_ready,
     cc_available,
+    disk_cache_max,
     native_cache_dir,
     native_cache_entries,
     native_clean_disk_cache,
+    opt_tier,
 )
 from repro.instrument.native.kernel import (
+    CovAccumulator,
     NativeKernel,
     build_native_kernel,
     clear_native_cache,
@@ -43,13 +49,19 @@ from repro.instrument.native.kernel import (
 )
 
 __all__ = [
+    "CovAccumulator",
+    "NativeCompiling",
     "NativeKernel",
     "NativeUnavailable",
+    "background_compile_stats",
+    "background_ready",
     "build_native_kernel",
     "cc_available",
     "clear_native_cache",
+    "disk_cache_max",
     "native_cache_dir",
     "native_cache_entries",
     "native_cache_info",
     "native_clean_disk_cache",
+    "opt_tier",
 ]

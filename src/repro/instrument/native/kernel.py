@@ -30,10 +30,12 @@ from repro.instrument.native.cache import (
     ABI_VERSION,
     NativeUnavailable,
     compile_kernel,
+    compile_kernel_background,
     cc_version,
     find_cc,
     native_cache_dir,
     native_cache_entries,
+    opt_tier,
 )
 from repro.instrument.native.emit import emit_program_ir
 
@@ -49,7 +51,8 @@ class _LoadedKernel:
     """One compiled-and-loaded shared object (immutable, thread-shareable)."""
 
     __slots__ = ("digest", "so_path", "lib", "sp_entry", "sp_batch",
-                 "arity", "n_words", "bail_sites", "freeze_sites")
+                 "sp_batch_mt", "arity", "n_words", "bail_sites",
+                 "freeze_sites")
 
     def __init__(self, digest, so_path, lib, arity, n_words,
                  bail_sites, freeze_sites):
@@ -67,8 +70,14 @@ class _LoadedKernel:
         batch.restype = None
         batch.argtypes = [_C_DOUBLE_P, ctypes.c_longlong, _C_DOUBLE_P,
                           _C_U64_P, _C_U8_P]
+        batch_mt = lib.sp_batch_mt
+        batch_mt.restype = None
+        batch_mt.argtypes = [_C_DOUBLE_P, ctypes.c_longlong,
+                             ctypes.c_longlong, _C_DOUBLE_P, _C_U64_P,
+                             _C_U8_P]
         self.sp_entry = entry
         self.sp_batch = batch
+        self.sp_batch_mt = batch_mt
 
 
 def kernel_digest(units, saturated_mask: int, epsilon: float) -> str:
@@ -77,7 +86,8 @@ def kernel_digest(units, saturated_mask: int, epsilon: float) -> str:
     Everything that affects the generated machine code participates: the
     per-unit (source sha256, function name, start label) triples, the
     saturation mask, epsilon (hex, bit-exact), the backend name, the
-    compiler version line and the codegen ABI version."""
+    compiler version line, the optimization flag tier and the codegen ABI
+    version."""
     _cc, version = find_cc()
     hasher = hashlib.sha256()
     for source, function_name, start_label in units:
@@ -87,6 +97,7 @@ def kernel_digest(units, saturated_mask: int, epsilon: float) -> str:
     hasher.update(f"eps={float(epsilon).hex()}\n".encode())
     hasher.update(f"backend={BACKEND_NAME}\n".encode())
     hasher.update(f"cc={version}\n".encode())
+    hasher.update(f"opt={opt_tier()}\n".encode())
     hasher.update(f"abi={ABI_VERSION}\n".encode())
     return hasher.hexdigest()
 
@@ -130,7 +141,7 @@ def clear_native_cache() -> None:
 
 
 def _load(units, entry_name, arity, n_conditionals, namespace,
-          saturated_mask, epsilon) -> _LoadedKernel:
+          saturated_mask, epsilon, wait: bool = True) -> _LoadedKernel:
     digest = kernel_digest(units, saturated_mask, epsilon)
     with _NATIVE_CACHE_LOCK:
         cached = _NATIVE_CACHE.get(digest)
@@ -145,8 +156,22 @@ def _load(units, entry_name, arity, n_conditionals, namespace,
     try:
         ir = emit_program_ir(units, entry_name, arity, n_conditionals,
                              namespace, saturated_mask, epsilon)
-        so_path = compile_kernel(render_c(ir), digest)
-        lib = ctypes.CDLL(str(so_path))
+        c_source = render_c(ir)
+        if wait:
+            so_path = compile_kernel(c_source, digest)
+        else:
+            # Raises NativeCompiling while the background build runs; that
+            # transient state is never negatively cached (it is not a
+            # NativeUnavailable), so the next poll can pick the kernel up.
+            so_path = compile_kernel_background(c_source, digest)
+        try:
+            lib = ctypes.CDLL(str(so_path))
+        except OSError:
+            # The .so can vanish between the cache lookup and the load when
+            # a concurrent build FIFO-prunes the directory; rebuild once in
+            # the foreground rather than degrading permanently.
+            so_path = compile_kernel(c_source, digest)
+            lib = ctypes.CDLL(str(so_path))
         loaded = _LoadedKernel(
             digest, so_path, lib, len(ir.entry.params), ir.n_words,
             ir.bail_sites, ir.freeze_sites,
@@ -163,17 +188,44 @@ def _load(units, entry_name, arity, n_conditionals, namespace,
     return loaded
 
 
+class CovAccumulator:
+    """Caller-held covered-bits accumulator for incremental reduction.
+
+    The threaded batch entry (``sp_batch_mt``) treats its coverage output
+    as an in/out buffer — OR-ing into it without zeroing — so a caller that
+    holds one accumulator across calls never re-unions bits it has already
+    seen.  After each call, :attr:`covered` is the running union and the
+    kernel returns only the *newly*-set mask, which
+    :meth:`SaturationTracker.add_covered_mask
+    <repro.core.saturation.SaturationTracker.add_covered_mask>` consumes
+    directly."""
+
+    __slots__ = ("n_words", "words", "covered")
+
+    def __init__(self, n_words: int):
+        self.n_words = n_words
+        self.words = (
+            np.zeros(n_words, dtype=np.uint64) if np is not None else None
+        )
+        self.covered = 0  # running union, including scalar-fallback bits
+
+
 class NativeKernel:
     """One loaded native evaluator bound to a program's specialized variant.
 
     ``kernel(X)`` has exactly the :class:`~repro.instrument.batch.BatchKernel`
     contract: an ``(N, arity)`` float64 array in, ``(r, covered)`` out, where
     ``r`` is the raw penalty vector (callers clamp) and ``covered`` the union
-    covered-bit summary over all rows.  Rows the native code flags as bailed
-    (a construct whose bit-exact CPython semantics the emitter could not
-    prove) are transparently re-run on the scalar specialized variant, so
-    results never depend on the emitter's coverage being perfect.
-    :meth:`scalar` is the one-row entry point used by ``evaluate``.
+    covered-bit summary over all rows.  ``kernel(X, n_threads=k)`` evaluates
+    the rows on ``k`` native threads with bit-identical results (private
+    per-thread coverage partials, merged in thread-index order).  Passing a
+    :class:`CovAccumulator` switches the coverage return to the
+    newly-set-bits delta (incremental reduction).  Rows the native code
+    flags as bailed (a construct whose bit-exact CPython semantics the
+    emitter could not prove) are transparently re-run on the scalar
+    specialized variant, so results never depend on the emitter's coverage
+    being perfect.  :meth:`scalar` is the one-row entry point used by
+    ``evaluate``.
     """
 
     __slots__ = ("variant", "loaded", "saturated_mask", "epsilon",
@@ -210,34 +262,53 @@ class NativeKernel:
         _value, r = variant.run(args)
         return r, variant.covered_mask()
 
-    def __call__(self, X):
+    def new_accumulator(self) -> CovAccumulator:
+        """A fresh caller-held accumulator for incremental reduction."""
+        return CovAccumulator(self.loaded.n_words)
+
+    def __call__(self, X, n_threads: int = 1, accumulator=None):
+        """Evaluate a batch: ``(r, covered)``.
+
+        Without an accumulator, ``covered`` is the union over this call's
+        rows.  With one, the native code ORs into the accumulator's word
+        buffer (never zeroed) and ``covered`` is only the newly-set mask;
+        ``accumulator.covered`` holds the running union."""
         if np is None:
-            return self._call_rows(X)
+            return self._call_rows(X, accumulator=accumulator)
         X = np.ascontiguousarray(np.atleast_2d(np.asarray(X, dtype=np.float64)))
         n = X.shape[0]
         if X.shape[1] != self.arity:
             raise ValueError(f"expected {self.arity} columns, got {X.shape[1]}")
+        n_words = self.loaded.n_words
         r = np.empty(n, dtype=np.float64)
-        cov = np.zeros(self.loaded.n_words, dtype=np.uint64)
+        cov = accumulator.words if accumulator is not None else np.zeros(
+            n_words, dtype=np.uint64)
         bail = np.empty(n, dtype=np.uint8)
-        self.loaded.sp_batch(
+        # sp_batch_mt never zeroes cov (in/out accumulator contract);
+        # results are bit-identical to sp_batch for any thread count.
+        self.loaded.sp_batch_mt(
             X.ctypes.data_as(_C_DOUBLE_P),
             ctypes.c_longlong(n),
+            ctypes.c_longlong(max(1, int(n_threads))),
             r.ctypes.data_as(_C_DOUBLE_P),
             cov.ctypes.data_as(_C_U64_P),
             bail.ctypes.data_as(_C_U8_P),
         )
         covered = 0
-        for word_index in range(self.loaded.n_words):
+        for word_index in range(n_words):
             covered |= int(cov[word_index]) << (64 * word_index)
         if bail.any():
             for row_index in np.nonzero(bail)[0]:
                 row_r, row_cov = self._scalar_fallback(X[row_index].tolist())
                 r[row_index] = row_r
                 covered |= row_cov
-        return r, covered
+        if accumulator is None:
+            return r, covered
+        new_mask = covered & ~accumulator.covered
+        accumulator.covered |= covered
+        return r, new_mask
 
-    def _call_rows(self, X):
+    def _call_rows(self, X, accumulator=None):
         """No-numpy fallback: per-row native scalar calls, union coverage."""
         rows = [[float(v) for v in row] for row in X]
         out = [0.0] * len(rows)
@@ -246,17 +317,25 @@ class NativeKernel:
             row_r, row_cov = self.scalar(row)
             out[row_index] = row_r
             covered |= row_cov
-        return out, covered
+        if accumulator is None:
+            return out, covered
+        new_mask = covered & ~accumulator.covered
+        accumulator.covered |= covered
+        return out, new_mask
 
 
 def build_native_kernel(program, saturated_mask: int,
-                        epsilon: float = DEFAULT_EPSILON) -> NativeKernel:
+                        epsilon: float = DEFAULT_EPSILON,
+                        wait: bool = True) -> NativeKernel:
     """Build (or fetch from cache) the native kernel for one program/mask.
 
     Raises :class:`NativeUnavailable` when no C compiler is present, the
     program has no source units, or the emitter cannot produce a useful
     kernel (the entry would bail unconditionally); callers degrade to the
-    scalar specialized tier.
+    scalar specialized tier.  With ``wait=False`` the compile is handed to
+    the background worker and
+    :class:`~repro.instrument.native.cache.NativeCompiling` is raised while
+    it runs — a transient state callers serve the specialized tier through.
     """
     if not program.units:
         raise NativeUnavailable(
@@ -271,11 +350,13 @@ def build_native_kernel(program, saturated_mask: int,
         variant.namespace,
         variant.saturated_mask,
         variant.epsilon,
+        wait=wait,
     )
     return NativeKernel(variant, loaded)
 
 
 __all__ = [
+    "CovAccumulator",
     "NativeKernel",
     "build_native_kernel",
     "clear_native_cache",

@@ -467,7 +467,8 @@ class InstrumentedProgram:
         return kernel
 
     def native_kernel(
-        self, saturated_mask: int, epsilon: float = DEFAULT_EPSILON
+        self, saturated_mask: int, epsilon: float = DEFAULT_EPSILON,
+        wait: bool = True
     ) -> NativeKernel:
         """The compiled-to-machine-code kernel of this program for
         ``saturated_mask``.
@@ -479,7 +480,10 @@ class InstrumentedProgram:
         ``native_kernel_builds`` counts true kernel constructions.  Raises
         :class:`~repro.instrument.native.cache.NativeUnavailable` when no C
         compiler is present or the program cannot be emitted; callers
-        degrade to the scalar specialized tier.
+        degrade to the scalar specialized tier.  With ``wait=False`` a cold
+        compile runs in the background and
+        :class:`~repro.instrument.native.cache.NativeCompiling` is raised
+        until it lands (callers serve the specialized tier meanwhile).
         """
         if not self.units:
             raise NativeUnavailable(
@@ -491,7 +495,7 @@ class InstrumentedProgram:
         kernel = self._native_kernels.get(key)
         if kernel is not None:
             return kernel
-        kernel = build_native_kernel(self, mask, epsilon)
+        kernel = build_native_kernel(self, mask, epsilon, wait=wait)
         self.native_kernel_builds += 1
         while len(self._native_kernels) >= _NATIVE_KERNELS_MAX:
             self._native_kernels.pop(next(iter(self._native_kernels)))

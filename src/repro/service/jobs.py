@@ -80,7 +80,10 @@ TOOL_FACTORIES: dict[str, Callable[[Profile], object]] = {
 #: label (two profiles with the same values are the same work), ``max_cases``
 #: selects *which* jobs run, and the engine guarantees seeded results are
 #: identical for every worker count.
-_PROFILE_FP_EXCLUDE = frozenset({"name", "max_cases", "n_workers", "eval_profile", "batch_starts"})
+_PROFILE_FP_EXCLUDE = frozenset(
+    {"name", "max_cases", "n_workers", "eval_profile", "batch_starts",
+     "native_threads"}
+)
 
 #: Tool state excluded from fingerprints: mutable run-to-run scratch, and
 #: CoverMe knobs the engine guarantees are result-neutral (every execution
@@ -89,7 +92,7 @@ _PROFILE_FP_EXCLUDE = frozenset({"name", "max_cases", "n_workers", "eval_profile
 #: ``progress`` is a pure observer the service attaches to stream events).
 _TOOL_FP_EXCLUDE = frozenset(
     {"last_evaluations", "n_workers", "worker_mode", "verbose", "batch_starts",
-     "eval_profile", "progress"}
+     "eval_profile", "native_threads", "progress"}
 )
 
 

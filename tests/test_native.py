@@ -3,13 +3,18 @@
 The contract under test is cross-tier bit-identity: for any program, any
 saturation mask and any input row -- NaN, infinities, denormals, huge-int
 word patterns included -- the native scalar entry point, the native batch
-entry point, the scalar ``PENALTY_SPECIALIZED`` variant and the generic
+entry point (serial *and* threaded, ``n_threads`` in {1, 2, 4}), the scalar
+``PENALTY_SPECIALIZED`` variant and the generic
 :class:`~repro.instrument.runtime.FastRuntime` must compute the same ``r``
 bit-for-bit and the same covered-branch sets.  On top of that sit the
-kernel/digest caches, the ``NativeUnavailable`` degradation (no compiler:
-one per-instance warning, identical results through the specialized tier),
-the ``repro native-cache`` CLI and the engine-level identity of
-``penalty-native`` vs ``penalty-specialized`` runs across worker pools.
+caller-held covered-bit accumulator (incremental reduction), the
+kernel/digest caches (including the ``-O3`` flag tier), the background
+compiler (kernel absent: the specialized tier serves, no warning, and the
+kernel swaps in once ``cc`` lands), the ``NativeUnavailable`` degradation
+(no compiler: one per-instance warning, identical results through the
+specialized tier), the ``repro native-cache`` CLI and the engine-level
+identity of ``penalty-native`` vs ``penalty-specialized`` runs across
+worker pools.
 
 Every test that needs a C compiler self-skips when none is present, so the
 suite passes on compiler-less machines with the degradation tests carrying
@@ -37,10 +42,16 @@ from repro.experiments.runner import instrument_case
 from repro.fdlibm.suite import BENCHMARKS
 from repro.instrument.native.cache import (
     NativeUnavailable,
+    _reset_background_for_tests,
     _reset_cc_probe_for_tests,
+    background_compile_stats,
     cc_available,
     compile_kernel,
+    disk_cache_max,
+    find_cc,
     native_cache_entries,
+    opt_tier,
+    wait_for_background,
 )
 from repro.instrument.native.kernel import (
     build_native_kernel,
@@ -110,9 +121,27 @@ def _adversarial_rows(rng, target, arity: int, n_random: int) -> np.ndarray:
 
 
 def _assert_native_parity(program, mask: int, X: np.ndarray) -> None:
-    """Native scalar == native batch == specialized == FastRuntime, row for row."""
+    """Native scalar == native batch == specialized == FastRuntime, row for row.
+
+    The batch check runs the threaded entry at ``n_threads`` in {1, 2, 4}
+    and the caller-held accumulator on top of the serial loop: every
+    combination must produce bit-identical ``r`` rows and the same covered
+    set (the accumulator reporting the full union on first use and the
+    empty delta on repetition)."""
     kernel = program.native_kernel(mask)
     r_batch, cov_batch = kernel(X)
+    r_bits = r_batch.view(np.uint64)
+    for n_threads in (2, 4):
+        r_mt, cov_mt = kernel(X, n_threads=n_threads)
+        context = (program.name, hex(mask), n_threads)
+        assert np.array_equal(r_bits, r_mt.view(np.uint64)), context
+        assert cov_mt == cov_batch, context
+    acc = kernel.new_accumulator()
+    r_acc, new_mask = kernel(X, n_threads=2, accumulator=acc)
+    assert np.array_equal(r_bits, r_acc.view(np.uint64))
+    assert new_mask == cov_batch and acc.covered == cov_batch
+    _r_again, again = kernel(X, n_threads=4, accumulator=acc)
+    assert again == 0  # incremental: nothing newly set on a repeat batch
     cov_union = 0
     for i, row in enumerate(X):
         args = row.tolist()
@@ -204,6 +233,10 @@ class TestRuntimeBail:
 class TestRepresentingFunctionNative:
     def _pair(self, target):
         program = instrument(target)
+        # Pre-warm the mask-0 kernel (blocking build): these tests assert
+        # exact respecialization counters, which the non-blocking default
+        # would smear across the background-compile window.
+        program.native_kernel(0)
         native = RepresentingFunction(
             program, SaturationTracker(program), profile=ExecutionProfile.PENALTY_NATIVE
         )
@@ -231,6 +264,27 @@ class TestRepresentingFunctionNative:
         for i in range(X.shape[0]):
             assert _bits(float(values[i])) == _bits(specialized(X[i]))
 
+    def test_native_threads_change_nothing_but_the_thread_count(self):
+        program = instrument(sp.paper_foo)
+        program.native_kernel(0)
+        X = np.ascontiguousarray([[v] for v in _ADVERSARIAL], dtype=np.float64)
+        outputs = []
+        for n_threads in (1, 2, 4):
+            native = RepresentingFunction(
+                program,
+                SaturationTracker(program),
+                profile=ExecutionProfile.PENALTY_NATIVE,
+                native_threads=n_threads,
+            )
+            assert native.native_threads == n_threads
+            outputs.append(native.evaluate_batch(X).view(np.uint64).tolist())
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_config_validates_native_threads(self):
+        with pytest.raises(ValueError, match="native_threads"):
+            CoverMeConfig(native_threads=0)
+        assert CoverMeConfig(native_threads=4).native_threads == 4
+
     def test_epoch_protocol_respecializes_only_on_mask_flip(self):
         program, native, _ = self._pair(sp.paper_foo)
         tracker = native.tracker
@@ -240,6 +294,8 @@ class TestRepresentingFunctionNative:
         _, coverage = native.evaluate_with_coverage([4.0])
         tracker.add_covered(set(coverage.covered))
         if tracker.saturated_mask != 0:
+            # Pre-warm the flipped mask too (see _pair).
+            program.native_kernel(tracker.saturated_mask)
             native([4.0])
             assert native.native_respecializations == 2
             assert native._native_kernel.saturated_mask == tracker.saturated_mask
@@ -265,6 +321,29 @@ class TestCachesAndDigest:
         assert kernel_digest(other_source, 0, 1e-6) != base
         assert kernel_digest((self._UNIT,), 3, 1e-6) != base
         assert kernel_digest((self._UNIT,), 0, 1e-7) != base
+
+    def test_o3_flag_tier_folds_into_the_digest(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NATIVE_O3", raising=False)
+        assert opt_tier() == "O2"
+        base = kernel_digest((self._UNIT,), 0, 1e-6)
+        monkeypatch.setenv("REPRO_NATIVE_O3", "1")
+        assert opt_tier() == "O3"
+        assert kernel_digest((self._UNIT,), 0, 1e-6) != base
+        monkeypatch.setenv("REPRO_NATIVE_O3", "0")  # falsy spellings stay O2
+        assert opt_tier() == "O2"
+        assert kernel_digest((self._UNIT,), 0, 1e-6) == base
+
+    def test_o3_tier_compiles_and_stays_bit_identical(self, monkeypatch):
+        X = np.ascontiguousarray([[v] for v in _ADVERSARIAL], dtype=np.float64)
+        monkeypatch.delenv("REPRO_NATIVE_O3", raising=False)
+        base_kernel = instrument(sp.paper_foo).native_kernel(0)
+        r_base, cov_base = base_kernel(X)
+        monkeypatch.setenv("REPRO_NATIVE_O3", "1")
+        o3_kernel = instrument(sp.paper_foo).native_kernel(0)
+        assert o3_kernel.digest != base_kernel.digest  # separate cache entry
+        r_o3, cov_o3 = o3_kernel(X)
+        assert np.array_equal(r_base.view(np.uint64), r_o3.view(np.uint64))
+        assert cov_o3 == cov_base
 
     def test_program_kernel_cache_and_build_counter(self):
         program = instrument(sp.paper_foo)
@@ -323,6 +402,146 @@ class TestCachesAndDigest:
         assert covered == cov_sp
 
 
+@requires_cc
+class TestBackgroundCompile:
+    def test_absent_kernel_serves_specialized_then_swaps_in(
+        self, tmp_path, monkeypatch
+    ):
+        """Kernel absent -> the first native-tier calls run on the
+        specialized tier (transient state: no warning) while ``cc`` runs in
+        the background; once the build lands the kernel swaps in at the
+        next call boundary and the counters account for both phases."""
+        monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path))  # cold disk
+        clear_native_cache()
+        _reset_background_for_tests()
+        program = instrument(sp.paper_foo)
+        native = RepresentingFunction(
+            program, SaturationTracker(program), profile=ExecutionProfile.PENALTY_NATIVE
+        )
+        specialized = RepresentingFunction(
+            program,
+            SaturationTracker(program),
+            profile=ExecutionProfile.PENALTY_SPECIALIZED,
+        )
+        stats_before = background_compile_stats()
+        with warnings.catch_warnings():
+            # The compiling state is transient and must not trip the
+            # degradation warning machinery.
+            warnings.simplefilter("error", RuntimeWarning)
+            first = native([4.0])
+        assert native.native_respecializations == 0  # no kernel yet
+        assert native.native_pending_calls >= 1
+        assert native._native_ok  # not latched: this is not a degradation
+        assert _bits(first) == _bits(specialized([4.0]))
+        pending = native._native_pending
+        assert pending is not None
+        wait_for_background(pending)
+        stats = background_compile_stats()
+        assert stats["submitted"] == stats_before["submitted"] + 1
+        assert stats["compiled"] == stats_before["compiled"] + 1
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            second = native([4.0])
+        assert native.native_respecializations == 1  # swapped in
+        assert native._native_pending is None
+        assert _bits(second) == _bits(first)
+        # The batch path serves from the swapped-in kernel too.
+        X = np.ascontiguousarray([[v] for v in _ADVERSARIAL], dtype=np.float64)
+        values = native.evaluate_batch(X)
+        assert native.batch_respecializations == 0
+        for i in range(X.shape[0]):
+            assert _bits(float(values[i])) == _bits(specialized(X[i]))
+        clear_native_cache()
+
+    def test_background_jobs_deduplicate_by_digest(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path))
+        clear_native_cache()
+        _reset_background_for_tests()
+        program = instrument(sp.nested_boolean)
+        submitted_before = background_compile_stats()["submitted"]
+        instances = [
+            RepresentingFunction(
+                program,
+                SaturationTracker(program),
+                profile=ExecutionProfile.PENALTY_NATIVE,
+            )
+            for _ in range(3)
+        ]
+        args = [1.0] * program.arity
+        pendings = set()
+        for representing in instances:
+            representing(args)
+            pendings.add(representing._native_pending)
+        pendings.discard(None)  # a fast build may land mid-loop
+        assert len(pendings) <= 1  # all instances share one digest
+        stats = background_compile_stats()
+        assert stats["submitted"] <= submitted_before + 1  # de-duplicated
+        for pending in pendings:
+            wait_for_background(pending)
+        clear_native_cache()
+
+    def test_pruned_done_outcome_is_rebuilt_not_served_stale(
+        self, tmp_path, monkeypatch
+    ):
+        """A recorded "done" outcome whose .so was FIFO-pruned from disk
+        must be forgotten and rebuilt, never handed back as a dead path."""
+        from repro.instrument.native.cache import (
+            NativeCompiling,
+            compile_kernel_background,
+        )
+
+        monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path))
+        _reset_background_for_tests()
+        digest = "ab" * 32
+        source = "int sp_dummy_prune(void) { return 7; }\n"
+        with pytest.raises(NativeCompiling):
+            compile_kernel_background(source, digest)
+        wait_for_background(digest)
+        so_path = tmp_path / f"{digest}.so"
+        assert so_path.exists()
+        # Simulate the FIFO prune deleting the entry while the "done"
+        # outcome is still recorded in the job table.
+        so_path.unlink()
+        so_path.with_suffix(".c").unlink()
+        with pytest.raises(NativeCompiling):
+            compile_kernel_background(source, digest)  # resubmit, not stale
+        wait_for_background(digest)
+        assert compile_kernel_background(source, digest) == so_path
+        assert so_path.exists()
+        _reset_background_for_tests()
+
+
+class TestCcProbeCache:
+    def test_failed_probe_is_cached_per_process(self, tmp_path, monkeypatch):
+        """A compiler-less host walks $REPRO_CC/cc/gcc/clang exactly once;
+        every later availability check and digest request answers from the
+        cached failure without touching the filesystem."""
+        import shutil as shutil_module
+
+        calls: list[str] = []
+
+        def fake_which(name, *args, **kwargs):
+            calls.append(name)
+            return None
+
+        monkeypatch.setattr(shutil_module, "which", fake_which)
+        monkeypatch.delenv("REPRO_CC", raising=False)
+        _reset_cc_probe_for_tests()
+        try:
+            assert not cc_available()
+            probe_calls = len(calls)
+            assert probe_calls >= 3  # cc, gcc, clang at least
+            for _ in range(3):
+                assert not cc_available()
+                with pytest.raises(NativeUnavailable, match="no C compiler"):
+                    find_cc()
+                with pytest.raises(NativeUnavailable):
+                    kernel_digest((("def f(x):\n    return x\n", "f", "L0"),), 0, 1e-6)
+            assert len(calls) == probe_calls  # no re-probe after the first
+        finally:
+            _reset_cc_probe_for_tests()
+
+
 class TestDegradation:
     @pytest.fixture
     def no_cc(self, tmp_path):
@@ -353,7 +572,7 @@ class TestDegradation:
             SaturationTracker(program),
             profile=ExecutionProfile.PENALTY_SPECIALIZED,
         )
-        with pytest.warns(RuntimeWarning, match="native tier unavailable"):
+        with pytest.warns(RuntimeWarning, match="native tier permanently unavailable"):
             first = native([4.0])
         assert _bits(first) == _bits(specialized([4.0]))
         # Further calls (scalar and batched) stay silent and identical.
@@ -373,7 +592,7 @@ class TestDegradation:
                 SaturationTracker(program),
                 profile=ExecutionProfile.PENALTY_NATIVE,
             )
-            with pytest.warns(RuntimeWarning, match="native tier unavailable"):
+            with pytest.warns(RuntimeWarning, match="native tier permanently unavailable"):
                 representing([4.0])
             with warnings.catch_warnings():
                 warnings.simplefilter("error")
@@ -463,11 +682,35 @@ class TestNativeCacheCLI:
         assert cli_main(["native-cache", "ls"]) == 0
         out = capsys.readouterr().out
         assert "1 kernels" in out and digest[:16] in out
+        # The summary line reports total on-disk size and the FIFO bound.
+        assert f"{so_path.stat().st_size} bytes total" in out
+        assert f"(bound {disk_cache_max()})" in out
         assert cli_main(["native-cache", "clean"]) == 0
         assert "removed 1" in capsys.readouterr().out
         assert native_cache_entries() == []
         assert cli_main(["native-cache", "ls"]) == 0
         assert "empty" in capsys.readouterr().out
+
+    def test_cache_max_override_bounds_the_fifo(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path))
+        monkeypatch.setenv("REPRO_NATIVE_CACHE_MAX", "2")
+        assert disk_cache_max() == 2
+        for index in range(4):
+            digest = f"{index:02d}" * 32
+            path = compile_kernel(
+                f"int sp_dummy{index}(void) {{ return {index}; }}\n", digest
+            )
+            # Deterministic FIFO order regardless of filesystem timestamp
+            # granularity.
+            os.utime(path, (index, index))
+            os.utime(path.with_suffix(".c"), (index, index))
+        survivors = {entry["digest"] for entry in native_cache_entries()}
+        assert len(survivors) == 2
+        assert "00" * 32 not in survivors  # oldest evicted first
+        assert cli_main(["native-cache", "ls"]) == 0
+        assert "(bound 2)" in capsys.readouterr().out
+        monkeypatch.setenv("REPRO_NATIVE_CACHE_MAX", "not-a-number")
+        assert disk_cache_max() == 256  # malformed override falls back
 
 
 class TestFingerprintNeutrality:
@@ -482,3 +725,13 @@ class TestFingerprintNeutrality:
         assert tool_fingerprint(FakeTool("penalty-native")) == tool_fingerprint(
             FakeTool("penalty-specialized")
         )
+
+    def test_native_threads_excluded_from_tool_fingerprints(self):
+        assert "native_threads" in _TOOL_FP_EXCLUDE
+
+        @dataclasses.dataclass
+        class FakeTool:
+            native_threads: int
+            depth: int = 3
+
+        assert tool_fingerprint(FakeTool(1)) == tool_fingerprint(FakeTool(4))

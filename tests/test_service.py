@@ -379,9 +379,9 @@ class TestWarningSurfacing:
                 outcome = service.run(request)
         finally:
             instrument_for_lookup.cache_clear()
-        assert any("native tier unavailable" in w for w in outcome.warnings)
+        assert any("native tier permanently unavailable" in w for w in outcome.warnings)
         warning_events = [e for e in outcome.events if e["event"] == "warning"]
-        assert any("native tier unavailable" in e["message"] for e in warning_events)
+        assert any("native tier permanently unavailable" in e["message"] for e in warning_events)
         # The stored payload is warning-free: records stay byte-identical
         # whether or not a tier degraded en route.
         assert "warnings" not in outcome.payload
@@ -390,7 +390,7 @@ class TestWarningSurfacing:
         request = JobRequest(case=CASE, tool="CoverMe", profile=DET)
         with CoverageService(store=tmp_path / "store", worker_mode="inline") as service:
             outcome = service.run(request)
-        assert not any("native tier unavailable" in w for w in outcome.warnings)
+        assert not any("native tier permanently unavailable" in w for w in outcome.warnings)
 
 
 class TestProgressEvents:
