@@ -1,0 +1,176 @@
+"""Wall-clock scale-out of the distributed lease fleet on a suite slice.
+
+The distributed tier shards one run's start space into per-batch leases and
+speculatively leases future batches under the current saturation snapshot,
+so two worker *processes* can pipeline a single seeded run.  This bench
+spawns a coordinator daemon plus subprocess workers (the real ``repro serve
+--role worker`` entry point, so the measurement includes the full HTTP
+lease/heartbeat/result protocol), runs a multi-start slice of the Fdlibm
+suite through fleets of 1 and 2 workers, and gates:
+
+* **determinism** -- both fleets produce payloads identical to each other
+  (the distributed layer's bit-identity contract, here checked end-to-end
+  through subprocess workers); and
+* **speed** -- the geometric-mean per-case speedup of 2 workers over 1 is
+  at least 1.5x.
+
+Measured numbers land in ``BENCH_distributed.json`` (in
+``REPRO_BENCH_OUTPUT_DIR`` or the working directory).  Self-skips below 4
+cores -- one core per worker, one for the coordinator's reducer, one for
+the OS -- unless ``REPRO_FORCE_DIST_BENCH=1`` forces the run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.distributed import LeaseCoordinator
+from repro.experiments.runner import Profile
+from repro.fdlibm.suite import BENCHMARKS
+from repro.service import CoverageService
+from repro.service.client import ServiceClient
+from repro.service.http import serve_in_background
+
+MIN_CORES = 4
+WORKLOAD_FUNCTIONS = ("ieee754_j0", "ieee754_y0", "ieee754_j1", "ieee754_y1")
+
+#: Enough batches per run (n_start / batch_size) that speculative pipelining
+#: has room to overlap worker processes, with no wall-clock budget so the
+#: work is identical whatever the fleet size.
+BENCH_PROFILE = Profile(
+    name="dist-bench",
+    n_start=48,
+    n_iter=3,
+    max_cases=None,
+    coverme_time_budget=None,
+    baseline_execution_factor=1,
+    baseline_min_executions=50,
+    seed=11,
+)
+
+
+def _workload_cases():
+    by_name = {case.function.split("(")[0]: case for case in BENCHMARKS}
+    return [by_name[name] for name in WORKLOAD_FUNCTIONS if name in by_name]
+
+
+def _spawn_worker(address: str, worker_id: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parent.parent)
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", "--role", "worker",
+            "--coordinator", address, "--worker-id", worker_id,
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _run_fleet(n_workers: int, cases) -> tuple[dict, dict]:
+    """One coordinator + ``n_workers`` subprocess workers over the slice.
+
+    Returns ``(per-case wall seconds, per-case normalized payloads)``.
+    Worker spin-up (interpreter start + registration) happens before the
+    clock starts.  The whole slice is submitted at once -- the scale-out
+    claim is fleet throughput, so the runs must be in flight together and
+    the workers free to interleave leases from different runs; the wide
+    thread/shard count on the daemon keeps fingerprint routing from ever
+    queueing two of the slice's jobs behind one dispatcher.
+    """
+    coord = LeaseCoordinator(speculate=3, poll_interval=0.01)
+    service = CoverageService(
+        store=None, worker_mode="thread", n_workers=8, distributed=coord
+    )
+    workers = []
+    times: dict[str, float] = {}
+    payloads: dict[str, str] = {}
+    try:
+        with serve_in_background(service, profiles={BENCH_PROFILE.name: BENCH_PROFILE}) as server:
+            client = ServiceClient(server.address)
+            workers = [
+                _spawn_worker(server.address, f"bench-w{i}") for i in range(n_workers)
+            ]
+            deadline = time.monotonic() + 60.0
+            while len(coord.stats()["live_workers"]) < n_workers:
+                assert time.monotonic() < deadline, "bench workers never registered"
+                time.sleep(0.05)
+            started = time.perf_counter()
+            fingerprints = {
+                case.function: client.submit(case.key, profile=BENCH_PROFILE.name)["job"]
+                for case in cases
+            }
+            for case in cases:
+                done = client.wait_for(fingerprints[case.function], timeout=600.0)
+                times[case.function] = time.perf_counter() - started
+                normalized = json.loads(json.dumps(done["payload"]))
+                normalized["summary"]["wall_time"] = 0.0
+                payloads[case.function] = json.dumps(normalized, sort_keys=True)
+            assert coord.stats()["counters"]["submitted"] > 0, "fleet never executed a lease"
+    finally:
+        for proc in workers:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait(timeout=30)
+        service.close()
+    return times, payloads
+
+
+@pytest.mark.paper_artifact("distributed scale-out")
+def test_distributed_fleet_speedup(bench_report_dir):
+    cpus = os.cpu_count() or 1
+    forced = os.environ.get("REPRO_FORCE_DIST_BENCH") == "1"
+    if cpus < MIN_CORES and not forced:
+        pytest.skip(f"distributed speedup needs >= {MIN_CORES} cores, runner has {cpus}")
+    cases = _workload_cases()
+    assert len(cases) == len(WORKLOAD_FUNCTIONS), "workload functions missing from the suite"
+
+    single_times, single_payloads = _run_fleet(1, cases)
+    fleet_times, fleet_payloads = _run_fleet(2, cases)
+
+    # Determinism contract: fleet size must not change the stored record
+    # (modulo the one wall-clock summary field, zeroed above).
+    assert fleet_payloads == single_payloads
+
+    speedups = {
+        name: single_times[name] / fleet_times[name] for name in single_times
+    }
+    geomean = math.exp(sum(math.log(s) for s in speedups.values()) / len(speedups))
+
+    rows = [
+        {
+            "function": name,
+            "single_worker_s": round(single_times[name], 3),
+            "two_worker_s": round(fleet_times[name], 3),
+            "speedup": round(speedups[name], 3),
+        }
+        for name in single_times
+    ]
+    payload = json.dumps(
+        {
+            "bench": "distributed_fleet_speedup",
+            "profile": BENCH_PROFILE.name,
+            "n_start": BENCH_PROFILE.n_start,
+            "geomean_speedup": round(geomean, 3),
+            "rows": rows,
+        },
+        indent=2,
+    )
+    (bench_report_dir / "BENCH_distributed.json").write_text(payload)
+    out_dir = os.environ.get("REPRO_BENCH_OUTPUT_DIR")
+    if out_dir:
+        (Path(out_dir) / "BENCH_distributed.json").write_text(payload)
+
+    lines = ", ".join(f"{r['function']} {r['speedup']:.2f}x" for r in rows)
+    print(f"\ndistributed fleet: {lines}; geomean {geomean:.2f}x")
+    assert geomean >= 1.5, f"expected >= 1.5x geomean scale-out, measured {geomean:.2f}x"

@@ -1,0 +1,396 @@
+"""The lease coordinator: scale-out's counterpart to the service's scale-up.
+
+One :class:`LeaseCoordinator` serves a whole daemon.  Each CoverMe job that
+executes under it plugs a :class:`LeasePool` into the engine through
+``CoverMeConfig.pool_factory``; the pool turns every engine batch into a
+lease on the shared :class:`~repro.distributed.leases.LeaseTable`, where
+registered workers (remote processes polling over HTTP, or in-process
+worker threads in tests) pull, execute and complete them.
+
+**Determinism.**  The engine's reduction loop is untouched: ``run_batch``
+still returns batch results in start order, and the engine folds them with
+the same ``_reduce`` as a single-machine run.  Workers only ever compute
+:class:`StartResult`s, which are pure functions of (params, task) -- so
+for any worker count, any steal interleaving, and any mix of remote/local
+execution, the reduced result is bit-identical to serial execution.
+
+**Speculation.**  Batch ``k+1``'s snapshot depends on batch ``k``'s
+reduction, which would serialize the fleet.  The pool therefore issues
+*speculative* leases for the next ``speculate`` batches under the latest
+known snapshot (the common case: saturation stabilizes after the early
+batches).  When the engine actually reaches a batch, the speculative lease
+is validated against the real snapshot -- a match is adopted (its results,
+possibly already computed, are exactly what the engine would have
+requested), a mismatch is cancelled and re-issued.  Mispredicted remote
+work is wasted wall-clock, never wrong bytes.
+
+**Degradation.**  A lease that stays pending with no live workers (none
+registered, or all presumed dead) is claimed by the pool itself and run on
+a local serial :class:`StartPool` -- a coordinator with no fleet behaves
+exactly like a single machine.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.distributed.leases import DONE, PENDING, Lease, LeaseTable
+from repro.distributed.protocol import MaskSender, branch_mask, encode_lease
+from repro.engine.pool import StartPool
+from repro.engine.worker import StartParams, StartResult, StartTask
+
+#: Default seconds before an unheartbeated active lease is stealable.
+DEFAULT_LEASE_TTL = 10.0
+#: Default seconds of silence before a registered worker is presumed dead.
+DEFAULT_WORKER_TTL = 30.0
+#: Default number of future batches leased speculatively.
+DEFAULT_SPECULATE = 2
+
+
+@dataclass
+class RunHandle:
+    """Coordinator-side state of one engine run executing under lease."""
+
+    run_id: str
+    engine: object = field(repr=False)
+    case_key: Optional[str] = None
+    params: Optional[StartParams] = field(default=None, repr=False)
+
+
+class LeaseCoordinator:
+    """Worker registry + lease table + the pool factory the service wires in.
+
+    Args:
+        lease_ttl: Seconds an acquired lease stays unstealable without a
+            heartbeat.  Small values steal aggressively (tests force expiry
+            this way); large values tolerate slow starts.
+        worker_ttl: Seconds of silence before a registered worker stops
+            counting as live (gates the local-execution fallback).
+        speculate: Future batches leased ahead under the predicted snapshot.
+        local_grace: Seconds a lease may sit pending *despite* live workers
+            before the coordinator runs it locally; ``None`` (default) only
+            falls back when no live workers remain.
+        poll_interval: Coordinator-side wait granularity.
+    """
+
+    def __init__(
+        self,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        worker_ttl: float = DEFAULT_WORKER_TTL,
+        speculate: int = DEFAULT_SPECULATE,
+        local_grace: Optional[float] = None,
+        poll_interval: float = 0.05,
+    ):
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be > 0")
+        if speculate < 0:
+            raise ValueError("speculate must be >= 0")
+        self.lease_ttl = lease_ttl
+        self.worker_ttl = worker_ttl
+        self.speculate = speculate
+        self.local_grace = local_grace
+        self.poll_interval = poll_interval
+        self.table = LeaseTable()
+        self._lock = threading.Lock()
+        self._runs: dict[str, RunHandle] = {}
+        self._workers: dict[str, float] = {}
+        self._senders: dict[tuple[str, str, str], MaskSender] = {}
+        self._next_lease = 0
+        self._next_run = 0
+        self._counters = {"acquired": 0, "submitted": 0, "rejected": 0, "local_batches": 0}
+
+    # -- worker registry ----------------------------------------------------
+
+    def register_worker(self, worker_id: str) -> dict:
+        with self._lock:
+            self._workers[worker_id] = time.monotonic()
+        return {
+            "ok": True,
+            "worker": worker_id,
+            "lease_ttl": self.lease_ttl,
+            "heartbeat_interval": self.lease_ttl / 3.0,
+        }
+
+    def touch(self, worker_id: str) -> None:
+        with self._lock:
+            if worker_id in self._workers:
+                self._workers[worker_id] = time.monotonic()
+
+    def live_workers(self, now: Optional[float] = None) -> list[str]:
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            return [w for w, seen in self._workers.items() if now - seen <= self.worker_ttl]
+
+    # -- run registry (called by LeasePool) ---------------------------------
+
+    def register_run(self, engine, case_key: Optional[str]) -> RunHandle:
+        with self._lock:
+            self._next_run += 1
+            handle = RunHandle(run_id=f"r{self._next_run:08d}", engine=engine, case_key=case_key)
+            self._runs[handle.run_id] = handle
+            return handle
+
+    def finish_run(self, run_id: str) -> None:
+        self.table.cancel_run(run_id)
+        with self._lock:
+            self._runs.pop(run_id, None)
+            for key in [k for k in self._senders if k[1] == run_id]:
+                del self._senders[key]
+
+    def run_handle(self, run_id: str) -> Optional[RunHandle]:
+        with self._lock:
+            return self._runs.get(run_id)
+
+    def inline_program(self, run_id: str):
+        """The run's live program object (in-process workers clone it)."""
+        handle = self.run_handle(run_id)
+        return None if handle is None else handle.engine.program
+
+    def _new_lease_id(self) -> str:
+        with self._lock:
+            self._next_lease += 1
+            return f"L{self._next_lease:08d}"
+
+    def _sender(self, worker_id: str, run_id: str, kind: str) -> MaskSender:
+        with self._lock:
+            return self._senders.setdefault((worker_id, run_id, kind), MaskSender())
+
+    def _reset_senders(self, worker_id: str) -> None:
+        with self._lock:
+            for key in [k for k in self._senders if k[0] == worker_id]:
+                del self._senders[key]
+
+    # -- worker-facing protocol (the HTTP handlers call these) ---------------
+
+    def acquire(self, worker_id: str, inline_ok: bool = False, resync: bool = False) -> Optional[dict]:
+        """Assign (or, under ``resync``, re-encode) a lease for a worker.
+
+        Remote workers re-instrument the program from the run's suite case,
+        so runs without a ``case_key`` are only offered when ``inline_ok``
+        (in-process workers reading the program through the coordinator).
+        """
+        self.touch(worker_id)
+        if resync:
+            # The worker's mask accumulators desynced (restart, stolen lease
+            # with an older snapshot): drop the delta state so every mask in
+            # the next payload ships in full, and re-offer the lease the
+            # worker already holds rather than assigning a second one.
+            self._reset_senders(worker_id)
+            held = self.table.held_by(worker_id)
+            if held is not None:
+                return self._encode_for(worker_id, held)
+
+        def acceptable(lease: Lease) -> bool:
+            handle = self.run_handle(lease.run_id)
+            if handle is None or handle.params is None:
+                return False
+            return inline_ok or handle.case_key is not None
+
+        lease = self.table.acquire(worker_id, time.monotonic(), self.lease_ttl, accept=acceptable)
+        if lease is None:
+            return None
+        with self._lock:
+            self._counters["acquired"] += 1
+        return self._encode_for(worker_id, lease)
+
+    def _encode_for(self, worker_id: str, lease: Lease) -> dict:
+        handle = self.run_handle(lease.run_id)
+        covered = self._sender(worker_id, lease.run_id, "covered").encode(
+            branch_mask(lease.covered)
+        )
+        infeasible = self._sender(worker_id, lease.run_id, "infeasible").encode(
+            branch_mask(lease.infeasible)
+        )
+        return encode_lease(
+            lease, handle.params, covered, infeasible, handle.case_key, self.lease_ttl
+        )
+
+    def heartbeat(self, worker_id: str, lease_id: str) -> bool:
+        self.touch(worker_id)
+        return self.table.heartbeat(lease_id, worker_id, time.monotonic(), self.lease_ttl)
+
+    def submit_results(self, worker_id: str, lease_id: str, results: list[StartResult]) -> bool:
+        """Accept a completed lease; False for cancelled/already-done leases."""
+        self.touch(worker_id)
+        accepted = self.table.complete(lease_id, worker_id, results)
+        with self._lock:
+            self._counters["submitted" if accepted else "rejected"] += 1
+        return accepted
+
+    # -- engine-facing API (called by LeasePool) -----------------------------
+
+    def ensure_lease(
+        self, handle: RunHandle, batch_index: int, tasks: list[StartTask]
+    ) -> Lease:
+        """The lease for the batch the engine just scheduled.
+
+        Validates a speculative lease against the engine's actual snapshot:
+        match -> adopt (its tasks are bit-identical by construction, and its
+        results may already be in), mismatch -> cancel and re-issue.
+        """
+        covered, infeasible = tasks[0].covered, tasks[0].infeasible
+        existing = self.table.find(handle.run_id, batch_index)
+        if existing is not None:
+            if existing.matches(covered, infeasible):
+                existing.speculative = False
+                return existing
+            self.table.cancel(existing.id)
+        lease = Lease(
+            id=self._new_lease_id(),
+            run_id=handle.run_id,
+            batch_index=batch_index,
+            first_index=tasks[0].index,
+            tasks=list(tasks),
+            covered=covered,
+            infeasible=infeasible,
+        )
+        self.table.add(lease)
+        return lease
+
+    def speculate_ahead(self, handle: RunHandle, batch_index: int, tasks: list[StartTask]) -> None:
+        """Lease the next ``speculate`` batches under the current snapshot."""
+        covered, infeasible = tasks[0].covered, tasks[0].infeasible
+        engine = handle.engine
+        for future_index in range(batch_index + 1, batch_index + 1 + self.speculate):
+            _, count = engine.batch_plan(future_index)
+            if count <= 0:
+                break
+            existing = self.table.find(handle.run_id, future_index)
+            if existing is not None:
+                if existing.matches(covered, infeasible):
+                    continue
+                if existing.state == PENDING or existing.speculative:
+                    self.table.cancel(existing.id)
+                else:
+                    continue
+            future_tasks = engine.tasks_for_batch(future_index, covered, infeasible)
+            self.table.add(
+                Lease(
+                    id=self._new_lease_id(),
+                    run_id=handle.run_id,
+                    batch_index=future_index,
+                    first_index=future_tasks[0].index,
+                    tasks=future_tasks,
+                    covered=covered,
+                    infeasible=infeasible,
+                    speculative=True,
+                )
+            )
+
+    def note_local_batch(self) -> None:
+        with self._lock:
+            self._counters["local_batches"] += 1
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        now = time.monotonic()
+        with self._lock:
+            workers = {
+                w: round(now - seen, 3) for w, seen in sorted(self._workers.items())
+            }
+            counters = dict(self._counters)
+            n_runs = len(self._runs)
+        return {
+            "workers": workers,
+            "live_workers": self.live_workers(now),
+            "runs": n_runs,
+            "counters": counters,
+            **self.table.stats(),
+            "lease_ttl": self.lease_ttl,
+            "speculate": self.speculate,
+        }
+
+    # -- the seam into the engine -------------------------------------------
+
+    def pool_factory(self, case_key: Optional[str] = None) -> Callable:
+        """A ``CoverMeConfig.pool_factory`` running the engine on this fleet."""
+
+        def factory(engine) -> "LeasePool":
+            return LeasePool(self, engine, case_key=case_key)
+
+        return factory
+
+
+class LeasePool:
+    """The engine-side pool adapter: batches in, leases out.
+
+    Declares ``streams_lazily`` because results are yielded to the engine
+    one at a time from the completed lease -- a consumer that stops early
+    never observes (or accounts for) the tail, exactly like the serial
+    pool.  Remote workers may have computed those abandoned results; that
+    cost is wall-clock already spent elsewhere, never part of this run's
+    ``evaluations``, which therefore matches the serial baseline bit for
+    bit.
+    """
+
+    streams_lazily = True
+
+    def __init__(self, coordinator: LeaseCoordinator, engine, case_key: Optional[str] = None):
+        self.coordinator = coordinator
+        self.engine = engine
+        self.case_key = case_key
+        self.handle: Optional[RunHandle] = None
+        self._local: Optional[StartPool] = None
+
+    # -- context management --------------------------------------------------
+
+    def __enter__(self) -> "LeasePool":
+        self.handle = self.coordinator.register_run(self.engine, self.case_key)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self.handle is not None:
+            self.coordinator.finish_run(self.handle.run_id)
+            self.handle = None
+        if self._local is not None:
+            self._local.close()
+            self._local = None
+
+    # -- the StartPool contract ----------------------------------------------
+
+    def run_batch(self, params: StartParams, tasks: list[StartTask]):
+        if self.handle.params is None:
+            self.handle.params = params
+        batch_index = tasks[0].index // self.engine.config.effective_batch_size()
+        lease = self.coordinator.ensure_lease(self.handle, batch_index, tasks)
+        self.coordinator.speculate_ahead(self.handle, batch_index, tasks)
+        results = self._await(lease, params)
+        yield from results
+
+    def _await(self, lease: Lease, params: StartParams) -> list[StartResult]:
+        """Block until the batch's lease completes, stealing/falling back."""
+        table = self.coordinator.table
+        wait_started = time.monotonic()
+        while True:
+            now = time.monotonic()
+            table.reclaim_expired(now)
+            current = table.get(lease.id)
+            if current is None:
+                raise RuntimeError(f"lease {lease.id} vanished while awaited")
+            if current.state == DONE:
+                return current.results
+            if current.state == PENDING and self._should_run_locally(now, wait_started):
+                if table.claim_local(lease.id):
+                    self.coordinator.note_local_batch()
+                    results = sorted(
+                        self._local_pool().run_batch(params, current.tasks),
+                        key=lambda r: r.index,
+                    )
+                    table.complete(lease.id, "local", results)
+                    return results
+            table.wait(lease.id, timeout=self.coordinator.poll_interval)
+
+    def _should_run_locally(self, now: float, wait_started: float) -> bool:
+        if not self.coordinator.live_workers(now):
+            return True
+        grace = self.coordinator.local_grace
+        return grace is not None and (now - wait_started) >= grace
+
+    def _local_pool(self) -> StartPool:
+        if self._local is None:
+            self._local = StartPool(self.engine.program, "serial", 1)
+        return self._local

@@ -1,0 +1,227 @@
+"""The coordinator's lease table: the unit of distributed work dispatch.
+
+A *lease* is one engine batch -- ``batch_size`` contiguous start indices
+that share a frozen saturation snapshot.  Leases move through three
+states:
+
+* ``pending`` -- created (by the engine reaching the batch, or
+  speculatively ahead of it) and waiting for a worker;
+* ``active`` -- acquired by a worker, with a deadline; heartbeats extend
+  it, and an expired deadline returns the lease to ``pending`` so an idle
+  worker can reclaim ("steal") it -- a slow or dead machine never stalls
+  the run;
+* ``done`` -- results attached.
+
+Completion is deliberately tolerant of steal races: the results of a lease
+are a pure function of its tasks (same snapshot, same seeded start points
+=> same :class:`StartResult`s), so a completion from a worker the lease
+was stolen *from* is accepted just like one from the thief -- whichever
+lands first wins, and both are bit-identical.  The determinism guarantee
+therefore never depends on which worker ran what; only the coordinator's
+in-order reduction does.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.engine.worker import StartResult, StartTask
+from repro.instrument.runtime import BranchId
+
+PENDING = "pending"
+ACTIVE = "active"
+DONE = "done"
+
+
+@dataclass
+class Lease:
+    """One batch of starts offered to the worker fleet."""
+
+    id: str
+    run_id: str
+    batch_index: int
+    first_index: int
+    tasks: list[StartTask]
+    covered: frozenset[BranchId]
+    infeasible: frozenset[BranchId]
+    speculative: bool = False
+    state: str = PENDING
+    worker_id: Optional[str] = None
+    deadline: Optional[float] = None
+    attempts: int = 0
+    steals: int = 0
+    results: Optional[list[StartResult]] = field(default=None, repr=False)
+
+    def matches(self, covered: frozenset, infeasible: frozenset) -> bool:
+        """Whether this lease's snapshot equals the engine's actual one."""
+        return self.covered == covered and self.infeasible == infeasible
+
+
+class LeaseTable:
+    """Thread-safe lease registry shared by the coordinator and its pools.
+
+    All waiting happens on one condition variable: workers' acquires are
+    non-blocking (pull-based polling over HTTP), while the coordinator's
+    lease pools block in :meth:`wait` until their batch completes.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._leases: dict[str, Lease] = {}
+        self._by_batch: dict[tuple[str, int], str] = {}
+        self.total_steals = 0
+        self.total_completed = 0
+        self.total_cancelled = 0
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, lease: Lease) -> None:
+        with self._cond:
+            if (lease.run_id, lease.batch_index) in self._by_batch:
+                raise ValueError(
+                    f"lease for run {lease.run_id} batch {lease.batch_index} already exists"
+                )
+            self._leases[lease.id] = lease
+            self._by_batch[(lease.run_id, lease.batch_index)] = lease.id
+            self._cond.notify_all()
+
+    def cancel(self, lease_id: str) -> None:
+        with self._cond:
+            lease = self._leases.pop(lease_id, None)
+            if lease is not None:
+                self._by_batch.pop((lease.run_id, lease.batch_index), None)
+                self.total_cancelled += 1
+                self._cond.notify_all()
+
+    def cancel_run(self, run_id: str) -> int:
+        """Drop every lease of a finished run (its pool is going away)."""
+        with self._cond:
+            doomed = [lease.id for lease in self._leases.values() if lease.run_id == run_id]
+            for lease_id in doomed:
+                lease = self._leases.pop(lease_id)
+                self._by_batch.pop((lease.run_id, lease.batch_index), None)
+            if doomed:
+                self._cond.notify_all()
+            return len(doomed)
+
+    def reclaim_expired(self, now: float) -> int:
+        """Return expired active leases to pending (the steal mechanism)."""
+        with self._cond:
+            reclaimed = 0
+            for lease in self._leases.values():
+                if lease.state == ACTIVE and lease.deadline is not None and now >= lease.deadline:
+                    lease.state = PENDING
+                    lease.worker_id = None
+                    lease.deadline = None
+                    lease.steals += 1
+                    self.total_steals += 1
+                    reclaimed += 1
+            if reclaimed:
+                self._cond.notify_all()
+            return reclaimed
+
+    def acquire(
+        self,
+        worker_id: str,
+        now: float,
+        ttl: float,
+        accept: Optional[Callable[[Lease], bool]] = None,
+    ) -> Optional[Lease]:
+        """Hand the oldest acceptable pending lease to ``worker_id``.
+
+        Expired active leases are reclaimed first, so an idle worker's poll
+        is also the moment stalled work gets stolen.  ``accept`` filters
+        leases the caller cannot execute (e.g. a remote worker cannot run a
+        lease whose run has no suite case to re-instrument from).
+        """
+        self.reclaim_expired(now)
+        with self._cond:
+            candidates = [
+                lease
+                for lease in self._leases.values()
+                if lease.state == PENDING and (accept is None or accept(lease))
+            ]
+            if not candidates:
+                return None
+            lease = min(candidates, key=lambda item: (item.run_id, item.batch_index))
+            lease.state = ACTIVE
+            lease.worker_id = worker_id
+            lease.deadline = now + ttl
+            lease.attempts += 1
+            return lease
+
+    def heartbeat(self, lease_id: str, worker_id: str, now: float, ttl: float) -> bool:
+        """Extend an active lease's deadline; False when no longer held."""
+        with self._cond:
+            lease = self._leases.get(lease_id)
+            if lease is None or lease.state != ACTIVE or lease.worker_id != worker_id:
+                return False
+            lease.deadline = now + ttl
+            return True
+
+    def complete(self, lease_id: str, worker_id: str, results: list[StartResult]) -> bool:
+        """Attach results; idempotent and steal-tolerant (see module doc)."""
+        with self._cond:
+            lease = self._leases.get(lease_id)
+            if lease is None or lease.state == DONE:
+                return False
+            lease.state = DONE
+            lease.worker_id = worker_id
+            lease.results = sorted(results, key=lambda r: r.index)
+            self.total_completed += 1
+            self._cond.notify_all()
+            return True
+
+    def claim_local(self, lease_id: str) -> bool:
+        """Atomically take a *pending* lease for synchronous local execution."""
+        with self._cond:
+            lease = self._leases.get(lease_id)
+            if lease is None or lease.state != PENDING:
+                return False
+            lease.state = ACTIVE
+            lease.worker_id = "local"
+            lease.deadline = None  # synchronous: cannot be stolen mid-run
+            lease.attempts += 1
+            return True
+
+    # -- queries -----------------------------------------------------------
+
+    def get(self, lease_id: str) -> Optional[Lease]:
+        with self._cond:
+            return self._leases.get(lease_id)
+
+    def find(self, run_id: str, batch_index: int) -> Optional[Lease]:
+        with self._cond:
+            lease_id = self._by_batch.get((run_id, batch_index))
+            return self._leases.get(lease_id) if lease_id is not None else None
+
+    def held_by(self, worker_id: str) -> Optional[Lease]:
+        """The active lease a worker currently holds (resync re-encode)."""
+        with self._cond:
+            for lease in self._leases.values():
+                if lease.state == ACTIVE and lease.worker_id == worker_id:
+                    return lease
+            return None
+
+    def wait(self, lease_id: str, timeout: float) -> Optional[Lease]:
+        """Block up to ``timeout`` for any table change; return the lease."""
+        with self._cond:
+            lease = self._leases.get(lease_id)
+            if lease is not None and lease.state == DONE:
+                return lease
+            self._cond.wait(timeout)
+            return self._leases.get(lease_id)
+
+    def stats(self) -> dict:
+        with self._cond:
+            by_state = {PENDING: 0, ACTIVE: 0, DONE: 0}
+            for lease in self._leases.values():
+                by_state[lease.state] += 1
+            return {
+                "leases": dict(by_state),
+                "steals": self.total_steals,
+                "completed": self.total_completed,
+                "cancelled": self.total_cancelled,
+            }

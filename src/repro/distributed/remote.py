@@ -1,0 +1,126 @@
+"""Run the experiment pipeline against a remote coordinator daemon.
+
+:class:`RemoteServiceAdapter` implements the two-method surface the
+pipeline actually uses (``submit(request, budget=, resume=)`` /
+``wait(job)``) on top of the daemon's HTTP API, so ``repro run
+--coordinator URL`` drives the exact same two-wave submission logic as a
+local run -- the only difference is *where* jobs execute.
+
+Budgets are derived server-side by the same
+:func:`~repro.service.jobs.derive_budget` rule the pipeline's explicit
+budgets follow: CoverMe gets the profile's wall-clock budget, and because
+the pipeline submits a case's baselines only after its CoverMe result
+landed (and was stored server-side), the server derives the identical
+"10x CoverMe effort" baseline budget the pipeline would have passed.
+Stored records are therefore bit-identical between local and remote runs.
+
+A 429 (admission queue full, or the daemon's rate limit) is retried with
+backoff honoring ``Retry-After`` -- backpressure is flow control here, not
+an error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Optional
+
+from repro.experiments.runner import Profile
+from repro.service.client import ClientError, ServiceClient
+from repro.store import summary_from_dict
+
+
+class RemoteJob:
+    """A submitted job's handle: its fingerprint plus the last seen view."""
+
+    def __init__(self, fingerprint: str, view: dict):
+        self.fingerprint = fingerprint
+        self.view = view
+
+
+class RemoteOutcome:
+    """Duck-typed :class:`~repro.service.core.JobOutcome` built from a view."""
+
+    def __init__(self, view: dict):
+        self.view = view
+        self.cached = bool(view.get("cached"))
+        self.payload = view.get("payload") or {}
+        self.warnings = list(view.get("warnings") or [])
+
+    @property
+    def summary(self):
+        return summary_from_dict(self.payload["summary"])
+
+    @property
+    def evaluations(self) -> Optional[int]:
+        return self.payload.get("tool_evaluations")
+
+
+class RemoteServiceAdapter:
+    """The pipeline's service seam, over HTTP.
+
+    Args:
+        client: A :class:`ServiceClient` pointed at the daemon (carrying
+            the auth token, if the daemon requires one).
+        wait_timeout: Per-job completion timeout.
+        max_submit_wait: Total seconds to keep retrying 429 responses.
+    """
+
+    def __init__(
+        self,
+        client: ServiceClient,
+        wait_timeout: float = 3600.0,
+        max_submit_wait: float = 600.0,
+    ):
+        self.client = client
+        self.wait_timeout = wait_timeout
+        self.max_submit_wait = max_submit_wait
+
+    def _overrides_for(self, profile: Profile) -> dict:
+        # Ship every profile field as an override: the server-side base
+        # profile then cannot matter, so client and server never need to
+        # agree on named-profile definitions.
+        data = dataclasses.asdict(profile)
+        data.pop("name")
+        return data
+
+    def submit(self, request, budget=None, resume: Optional[bool] = None) -> RemoteJob:
+        """Submit one job; ``budget`` is re-derived server-side (see module
+        docstring) and ``resume=False`` is not supported remotely."""
+        if resume is not None and not resume:
+            raise ValueError(
+                "remote runs always resume from the daemon's store; "
+                "use `repro clean` on the daemon's store for a fresh run"
+            )
+        del budget  # derived server-side from the same rule
+        profile = request.profile
+        deadline = time.monotonic() + self.max_submit_wait
+        delay = 0.25
+        while True:
+            try:
+                view = self.client.submit(
+                    request.case.key,
+                    tool=request.tool,
+                    profile=profile.name if profile.name in ("smoke", "default", "full") else "smoke",
+                    overrides=self._overrides_for(profile),
+                    measure_lines=request.measure_lines,
+                )
+                return RemoteJob(view["job"], view)
+            except ClientError as exc:
+                if exc.status != 429 or time.monotonic() >= deadline:
+                    raise
+                retry_after = exc.payload.get("retry_after")
+                time.sleep(float(retry_after) if retry_after else delay)
+                delay = min(delay * 2, 5.0)
+
+    def wait(self, job: RemoteJob, timeout: Optional[float] = None) -> RemoteOutcome:
+        if job.view.get("state") == "done":
+            return RemoteOutcome(job.view)
+        view = self.client.wait_for(
+            job.fingerprint, timeout=timeout if timeout is not None else self.wait_timeout
+        )
+        job.view = view
+        return RemoteOutcome(view)
+
+    def close(self, close_store: Optional[bool] = None) -> None:
+        """No-op (the daemon owns its resources); present for seam parity."""

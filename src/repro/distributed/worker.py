@@ -1,0 +1,243 @@
+"""The distributed worker: pull leases, execute starts, submit results.
+
+A worker is a *client* of the coordinator -- pull-based, so work stealing
+needs no server-side pushing: an idle worker's next poll is what reclaims
+an expired lease.  The same loop body serves two transports:
+
+* :class:`HTTPTransport` -- a remote process (``repro serve --role worker
+  --coordinator URL``) speaking the daemon's ``/distributed/*`` endpoints
+  through :class:`~repro.service.client.ServiceClient`.  Programs are
+  re-instrumented from the lease's suite case, so the per-process
+  instrumentation/specialization/native caches stay warm across leases.
+* :class:`InlineTransport` -- an in-process thread used by the tests and
+  the bit-identity property suite.  It exchanges the *same encoded JSON
+  payloads* as the HTTP path (exercising hex floats, mask deltas and
+  resync), only skipping the socket; programs are cloned from the
+  coordinator's live engine, which also lets non-suite targets run
+  distributed.
+
+Execution itself is the engine's own serial :class:`StartPool` over the
+lease's decoded tasks -- the identical ``run_start`` path a single-machine
+run uses, against the identical frozen snapshot, which is where the
+bit-identity guarantee bottoms out.
+
+While executing, a daemon thread heartbeats the lease at a third of its
+TTL; a worker that dies (or is ``kill -9``-ed) simply stops heartbeating
+and its lease expires into stealable state.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.distributed.coordinator import LeaseCoordinator
+from repro.distributed.protocol import (
+    MaskReceiver,
+    MaskResync,
+    branches_from_mask,
+    decode_lease_tasks,
+    decode_params,
+    decode_result,
+    encode_result,
+)
+from repro.engine.pool import StartPool
+
+
+def submit_payload(coordinator: LeaseCoordinator, body: dict) -> bool:
+    """Decode one result submission and apply it (shared by HTTP + inline)."""
+    results = [decode_result(item) for item in body.get("results", [])]
+    return coordinator.submit_results(body["worker"], body["lease"], results)
+
+
+class InlineTransport:
+    """Direct coordinator calls carrying the encoded wire payloads."""
+
+    def __init__(self, coordinator: LeaseCoordinator):
+        self.coordinator = coordinator
+        self._clones: dict[str, object] = {}
+
+    def register(self, worker_id: str) -> dict:
+        return self.coordinator.register_worker(worker_id)
+
+    def acquire(self, worker_id: str, resync: bool = False) -> Optional[dict]:
+        return self.coordinator.acquire(worker_id, inline_ok=True, resync=resync)
+
+    def heartbeat(self, worker_id: str, lease_id: str) -> bool:
+        return self.coordinator.heartbeat(worker_id, lease_id)
+
+    def submit(self, body: dict) -> bool:
+        return submit_payload(self.coordinator, body)
+
+    def program_for(self, payload: dict):
+        run_id = payload["run"]
+        program = self._clones.get(run_id)
+        if program is None:
+            source = self.coordinator.inline_program(run_id)
+            if source is None:
+                return None
+            # Clone: the compiled namespace's runtime handle is per-program
+            # mutable state, and the engine's own thread is using the
+            # original.
+            program = source.clone()
+            self._clones[run_id] = program
+        return program
+
+
+class HTTPTransport:
+    """The remote worker's view of a coordinator daemon."""
+
+    def __init__(self, client):
+        self.client = client
+        self._programs: dict[str, object] = {}
+
+    def register(self, worker_id: str) -> dict:
+        return self.client.register_worker(worker_id)
+
+    def acquire(self, worker_id: str, resync: bool = False) -> Optional[dict]:
+        return self.client.acquire_lease(worker_id, resync=resync).get("lease")
+
+    def heartbeat(self, worker_id: str, lease_id: str) -> bool:
+        return bool(self.client.lease_heartbeat(worker_id, lease_id).get("ok"))
+
+    def submit(self, body: dict) -> bool:
+        return bool(self.client.submit_lease(body).get("accepted"))
+
+    def program_for(self, payload: dict):
+        case_key = payload.get("case")
+        if case_key is None:
+            return None
+        program = self._programs.get(case_key)
+        if program is None:
+            # Imported lazily so lifting client.py alone stays possible.
+            from repro.fdlibm.suite import case_by_key
+            from repro.service.jobs import instrument_for_lookup
+
+            program = instrument_for_lookup(case_by_key(case_key))
+            self._programs[case_key] = program
+        return program
+
+
+def _decode_lease(payload: dict, receivers: dict[tuple[str, str], MaskReceiver]):
+    run_id = payload["run"]
+    covered_mask = receivers.setdefault((run_id, "covered"), MaskReceiver()).decode(
+        payload["covered"]
+    )
+    infeasible_mask = receivers.setdefault((run_id, "infeasible"), MaskReceiver()).decode(
+        payload["infeasible"]
+    )
+    params = decode_params(payload["params"])
+    tasks = decode_lease_tasks(
+        payload, branches_from_mask(covered_mask), branches_from_mask(infeasible_mask)
+    )
+    return params, tasks
+
+
+def execute_lease(program, payload: dict, receivers: dict) -> dict:
+    """Run every start of one decoded lease; returns the submission body."""
+    params, tasks = _decode_lease(payload, receivers)
+    with StartPool(program, "serial", 1) as pool:
+        results = list(pool.run_batch(params, tasks))
+    return {
+        "worker": payload.get("worker"),
+        "lease": payload["lease"],
+        "run": payload["run"],
+        "results": [encode_result(r) for r in results],
+    }
+
+
+def run_worker(
+    transport,
+    worker_id: str,
+    poll_interval: float = 0.25,
+    stop_event: Optional[threading.Event] = None,
+    max_leases: Optional[int] = None,
+    announce=None,
+) -> int:
+    """The worker main loop; returns the number of leases completed.
+
+    Stops when ``stop_event`` is set or ``max_leases`` is reached; a plain
+    ``KeyboardInterrupt`` also exits cleanly (the in-flight lease simply
+    expires and gets stolen).
+    """
+    info = transport.register(worker_id)
+    heartbeat_interval = float(info.get("heartbeat_interval", 1.0))
+    if announce is not None:
+        announce(f"repro worker {worker_id}: registered (ttl {info.get('lease_ttl')}s)")
+    receivers: dict[tuple[str, str], MaskReceiver] = {}
+    completed = 0
+    while not (stop_event is not None and stop_event.is_set()):
+        if max_leases is not None and completed >= max_leases:
+            break
+        payload = transport.acquire(worker_id)
+        if payload is None:
+            # Re-register opportunistically so a coordinator restart (or a
+            # worker_ttl lapse while idle) does not strand the worker.
+            transport.register(worker_id)
+            if stop_event is not None:
+                stop_event.wait(poll_interval)
+            else:
+                time.sleep(poll_interval)
+            continue
+        program = transport.program_for(payload)
+        if program is None:
+            # A lease this transport cannot execute; let it expire for
+            # someone who can (should not happen: acquire filters on it).
+            time.sleep(poll_interval)
+            continue
+        payload["worker"] = worker_id
+        lease_id = payload["lease"]
+        done = threading.Event()
+
+        def _beat(lease=lease_id, stop=done) -> None:
+            while not stop.wait(heartbeat_interval):
+                try:
+                    if not transport.heartbeat(worker_id, lease):
+                        return
+                except Exception:  # noqa: BLE001 - a lost beat just risks a steal
+                    return
+
+        beater = threading.Thread(target=_beat, name=f"{worker_id}-heartbeat", daemon=True)
+        beater.start()
+        try:
+            try:
+                body = execute_lease(program, payload, receivers)
+            except MaskResync:
+                for receiver in receivers.values():
+                    receiver.reset()
+                fresh = transport.acquire(worker_id, resync=True)
+                if fresh is None:
+                    continue
+                fresh["worker"] = worker_id
+                body = execute_lease(program, fresh, receivers)
+            transport.submit(body)
+            completed += 1
+        finally:
+            done.set()
+            beater.join(timeout=heartbeat_interval * 2)
+    return completed
+
+
+def start_inline_workers(
+    coordinator: LeaseCoordinator, count: int, name_prefix: str = "inline"
+) -> tuple[threading.Event, list[threading.Thread]]:
+    """Spawn ``count`` in-process worker threads (test/embedding helper).
+
+    Returns ``(stop_event, threads)``; set the event and join the threads
+    to retire the fleet.
+    """
+    stop = threading.Event()
+    threads = []
+    for index in range(count):
+        transport = InlineTransport(coordinator)
+        thread = threading.Thread(
+            target=run_worker,
+            args=(transport, f"{name_prefix}-{index}"),
+            kwargs={"poll_interval": 0.02, "stop_event": stop},
+            name=f"repro-lease-worker-{index}",
+            daemon=True,
+        )
+        threads.append(thread)
+        thread.start()
+    return stop, threads

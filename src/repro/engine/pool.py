@@ -165,6 +165,20 @@ class StartPool:
             self._executor = ThreadPoolExecutor(max_workers=self.n_workers)
             self._clones = [program.clone() for _ in range(self.n_workers)]
 
+    @property
+    def streams_lazily(self) -> bool:
+        """Whether abandoning the ``run_batch`` iterator skips unstarted work.
+
+        Serial mode launches each start only when the consumer pulls it, so
+        an abandoned iterator means the remaining starts never executed and
+        their evaluations must not be accounted.  Pooled modes dispatch the
+        whole batch eagerly; every result's cost counts even after the
+        reduction stops.  The engine keys its accounting on this flag rather
+        than on the mode name so alternative pools (e.g. the distributed
+        lease pool) can pick either contract.
+        """
+        return self.mode == "serial"
+
     def run_batch(self, params: StartParams, tasks: list[StartTask]) -> Iterator[StartResult]:
         """Yield the batch's results in start order.
 

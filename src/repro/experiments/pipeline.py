@@ -520,6 +520,7 @@ def run_specs(
     n_workers: int = 1,
     worker_mode: str = "thread",
     n_shards: Optional[int] = None,
+    service=None,
 ) -> RunReport:
     """Plan, execute and render a set of experiment specs as one batch.
 
@@ -528,6 +529,11 @@ def run_specs(
     path) nothing is executed: suite rows are resolved from the store only,
     absent jobs are listed in ``missing_jobs`` instead of being run, and
     script specs (which have no stored records) are reported as missing.
+    ``service`` overrides the locally-constructed
+    :class:`~repro.service.CoverageService` -- this is how ``repro run
+    --coordinator URL`` swaps in a
+    :class:`~repro.distributed.remote.RemoteServiceAdapter` and executes
+    the identical two-wave plan against a daemon.
     """
     report = RunReport(profile=profile)
     suite_specs = [spec for spec in specs if spec.is_suite]
@@ -536,6 +542,7 @@ def run_specs(
         rows_by_case, stats, missing = execute_plan(
             plan, store=store, resume=resume, execute=True,
             n_workers=n_workers, worker_mode=worker_mode, n_shards=n_shards,
+            service=service,
         )
         report.stats = stats
         report.missing_jobs = missing

@@ -26,11 +26,18 @@ class ClientError(RuntimeError):
 
 
 class ServiceClient:
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(self, base_url: str, timeout: float = 30.0, token: Optional[str] = None):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.token = token
 
     # -- plumbing ----------------------------------------------------------
+
+    def _headers(self, data: Optional[bytes]) -> dict:
+        headers = {"Content-Type": "application/json"} if data else {}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
+        return headers
 
     def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
         data = json.dumps(payload).encode("utf-8") if payload is not None else None
@@ -38,7 +45,7 @@ class ServiceClient:
             self.base_url + path,
             data=data,
             method=method,
-            headers={"Content-Type": "application/json"} if data else {},
+            headers=self._headers(data),
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
@@ -94,7 +101,8 @@ class ServiceClient:
     def events(self, fingerprint: str, start: int = 0) -> Iterator[dict]:
         """Stream the job's NDJSON event log (blocks until the job ends)."""
         request = urllib.request.Request(
-            f"{self.base_url}/jobs/{fingerprint}/events?from={start}"
+            f"{self.base_url}/jobs/{fingerprint}/events?from={start}",
+            headers=self._headers(None),
         )
         with urllib.request.urlopen(request, timeout=self.timeout) as response:
             for line in response:
@@ -104,3 +112,24 @@ class ServiceClient:
 
     def shutdown(self) -> dict:
         return self._request("POST", "/shutdown")
+
+    # -- distributed (lease protocol) --------------------------------------
+
+    def register_worker(self, worker_id: str) -> dict:
+        return self._request("POST", "/distributed/register", {"worker": worker_id})
+
+    def acquire_lease(self, worker_id: str, resync: bool = False) -> dict:
+        return self._request(
+            "POST", "/distributed/lease", {"worker": worker_id, "resync": resync}
+        )
+
+    def lease_heartbeat(self, worker_id: str, lease_id: str) -> dict:
+        return self._request(
+            "POST", "/distributed/heartbeat", {"worker": worker_id, "lease": lease_id}
+        )
+
+    def submit_lease(self, body: dict) -> dict:
+        return self._request("POST", "/distributed/result", body)
+
+    def distributed_stats(self) -> dict:
+        return self._request("GET", "/distributed/stats")

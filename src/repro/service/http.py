@@ -29,6 +29,31 @@ Endpoints (all JSON unless noted):
   finishes.  ``?from=N`` skips the first N events.
 * ``POST /shutdown`` -- graceful stop (the smoke-test/CI hook).
 
+When the service carries a :class:`~repro.distributed.coordinator.\
+LeaseCoordinator` (``repro serve --role coordinator``), four more routes
+expose the lease protocol to shard workers:
+
+* ``POST /distributed/register`` -- ``{"worker": "<id>"}``; replies with
+  the lease TTL and the heartbeat interval the worker must keep.
+* ``POST /distributed/lease`` -- ``{"worker": "<id>", "resync": false}``;
+  replies ``{"lease": <payload>|null}`` (null: nothing pending -- poll
+  again; polling *is* the work-stealing mechanism).
+* ``POST /distributed/heartbeat`` -- ``{"worker", "lease"}``; ``ok:
+  false`` means the lease was reclaimed (stolen) and the worker should
+  abandon it.
+* ``POST /distributed/result`` -- the worker's completed-lease body;
+  ``accepted: false`` means a competing completion (steal) or a
+  cancelled speculative lease won.
+* ``GET /distributed/stats`` -- lease table + worker registry counters.
+
+**Auth and backpressure.**  ``--token`` gates every route except
+``GET /healthz`` behind ``Authorization: Bearer <token>`` (401
+otherwise).  An optional per-client sliding-window rate limit answers
+429 with a ``Retry-After`` header (also mirrored as ``retry_after`` in
+the JSON body); clients are keyed by token when auth is on, else by
+peer address.  Queue-full 429s carry ``Retry-After`` too -- both kinds
+are flow control, not errors.
+
 Budgets follow the service rule: CoverMe jobs get the profile's
 wall-clock budget; baseline jobs derive from the case's stored CoverMe
 record when one exists, else the profile floor.  Submitting CoverMe first
@@ -38,10 +63,13 @@ therefore reproduces the pipeline's budget chain exactly.
 from __future__ import annotations
 
 import asyncio
+import collections
 import contextlib
 import dataclasses
+import hmac
 import json
 import threading
+import time
 from typing import Optional
 
 from repro.experiments.runner import PROFILES, Profile
@@ -54,6 +82,7 @@ _PHRASES = {
     200: "OK",
     202: "Accepted",
     400: "Bad Request",
+    401: "Unauthorized",
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
@@ -65,10 +94,43 @@ _MAX_BODY = 1 << 20  # 1 MiB: submit bodies are tiny; refuse anything huge
 
 
 class HTTPError(Exception):
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str, headers: Optional[dict] = None,
+                 extra: Optional[dict] = None):
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = headers or {}
+        self.extra = extra or {}
+
+
+class RateLimiter:
+    """Per-client sliding-window admission: at most ``limit`` requests in
+    any trailing ``window`` seconds.
+
+    Clients are keyed by bearer token when auth is on (one budget per
+    credential, however many machines share it), else by peer address.
+    ``check`` returns ``None`` to admit or the seconds until the oldest
+    in-window request expires -- the honest ``Retry-After`` value.
+    """
+
+    def __init__(self, limit: int, window: float):
+        if limit < 1 or window <= 0:
+            raise ValueError("rate limit needs limit >= 1 and window > 0")
+        self.limit = limit
+        self.window = float(window)
+        self._events: dict[str, collections.deque] = {}
+        self._lock = threading.Lock()
+
+    def check(self, key: str, now: Optional[float] = None) -> Optional[float]:
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            events = self._events.setdefault(key, collections.deque())
+            while events and events[0] <= now - self.window:
+                events.popleft()
+            if len(events) >= self.limit:
+                return max(0.0, events[0] + self.window - now)
+            events.append(now)
+            return None
 
 
 def _profile_from_body(data: dict, profiles: dict[str, Profile]) -> Profile:
@@ -102,12 +164,16 @@ class ServiceHTTPServer:
         port: int = 0,
         profiles: Optional[dict[str, Profile]] = None,
         poll_interval: float = 0.05,
+        token: Optional[str] = None,
+        rate_limit: Optional[tuple[int, float]] = None,
     ):
         self.service = service
         self.host = host
         self.port = port
         self.profiles = profiles if profiles is not None else PROFILES
         self.poll_interval = poll_interval
+        self.token = token
+        self.rate_limiter = RateLimiter(*rate_limit) if rate_limit is not None else None
         self._server: Optional[asyncio.AbstractServer] = None
         self._shutdown: Optional[asyncio.Event] = None
 
@@ -138,7 +204,7 @@ class ServiceHTTPServer:
     async def _handle_client(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
         try:
             try:
-                method, path, body = await self._read_request(reader)
+                method, path, headers, body = await self._read_request(reader)
             except HTTPError as exc:
                 await self._respond(writer, exc.status, {"error": exc.message})
                 return
@@ -146,9 +212,12 @@ class ServiceHTTPServer:
                 await self._respond(writer, 400, {"error": "malformed request"})
                 return
             try:
+                self._admit(method, path, headers, writer)
                 await self._route(writer, method, path, body)
             except HTTPError as exc:
-                await self._respond(writer, exc.status, {"error": exc.message})
+                await self._respond(
+                    writer, exc.status, {"error": exc.message, **exc.extra}, exc.headers
+                )
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
@@ -156,7 +225,38 @@ class ServiceHTTPServer:
                 writer.close()
                 await writer.wait_closed()
 
-    async def _read_request(self, reader) -> tuple[str, str, bytes]:
+    def _admit(self, method: str, target: str, headers: dict, writer) -> None:
+        """Auth then rate-limit, in that order (anonymous traffic must not
+        be able to burn a token's budget).  ``GET /healthz`` stays open so
+        probes work without credentials."""
+        path = target.partition("?")[0]
+        if path == "/healthz" and method == "GET":
+            return
+        presented = None
+        if self.token is not None:
+            auth = headers.get("authorization", "")
+            scheme, _, presented = auth.partition(" ")
+            if scheme.lower() != "bearer" or not hmac.compare_digest(
+                presented.strip(), self.token
+            ):
+                raise HTTPError(401, "missing or invalid bearer token")
+            presented = presented.strip()
+        if self.rate_limiter is not None:
+            if presented is not None:
+                key = presented
+            else:
+                peer = writer.get_extra_info("peername")
+                key = str(peer[0]) if isinstance(peer, (tuple, list)) and peer else "unknown"
+            retry_after = self.rate_limiter.check(key)
+            if retry_after is not None:
+                raise HTTPError(
+                    429,
+                    "rate limit exceeded",
+                    headers={"Retry-After": f"{max(retry_after, 0.001):.3f}"},
+                    extra={"retry_after": round(max(retry_after, 0.001), 3)},
+                )
+
+    async def _read_request(self, reader) -> tuple[str, str, dict, bytes]:
         request_line = await reader.readline()
         if not request_line:
             raise HTTPError(400, "empty request")
@@ -178,14 +278,18 @@ class ServiceHTTPServer:
         if length > _MAX_BODY:
             raise HTTPError(413, "request body too large")
         body = await reader.readexactly(length) if length else b""
-        return method, target, body
+        return method, target, headers, body
 
-    async def _respond(self, writer, status: int, payload: dict) -> None:
+    async def _respond(
+        self, writer, status: int, payload: dict, headers: Optional[dict] = None
+    ) -> None:
         body = (json.dumps(payload) + "\n").encode("utf-8")
+        extra = "".join(f"{name}: {value}\r\n" for name, value in (headers or {}).items())
         head = (
             f"HTTP/1.1 {status} {_PHRASES.get(status, 'OK')}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             "Connection: close\r\n\r\n"
         )
         writer.write(head.encode("latin-1") + body)
@@ -207,6 +311,8 @@ class ServiceHTTPServer:
                 await self._stream_events(writer, rest[: -len("/events")].rstrip("/"), query)
             else:
                 await self._poll(writer, rest)
+        elif path.startswith("/distributed/"):
+            await self._distributed(writer, method, path[len("/distributed/"):], body)
         elif path == "/shutdown" and method == "POST":
             await self._respond(writer, 200, {"ok": True, "shutting_down": True})
             self.request_shutdown()
@@ -247,7 +353,9 @@ class ServiceHTTPServer:
             # a reason to stall the event loop.
             job = self.service.submit(request, block=False)
         except QueueFull as exc:
-            raise HTTPError(429, str(exc)) from exc
+            raise HTTPError(
+                429, str(exc), headers={"Retry-After": "1"}, extra={"retry_after": 1}
+            ) from exc
         except ServiceClosed as exc:
             raise HTTPError(503, str(exc)) from exc
         except ValueError as exc:
@@ -262,6 +370,55 @@ class ServiceHTTPServer:
 
     async def _poll(self, writer, fingerprint: str) -> None:
         await self._respond(writer, 200, self._find_job(fingerprint).snapshot())
+
+    # -- distributed (lease protocol) --------------------------------------
+
+    @staticmethod
+    def _parse_json(body: bytes) -> dict:
+        try:
+            data = json.loads(body or b"{}")
+        except json.JSONDecodeError as exc:
+            raise HTTPError(400, f"invalid JSON body: {exc}") from exc
+        if not isinstance(data, dict):
+            raise HTTPError(400, "body must be a JSON object")
+        return data
+
+    async def _distributed(self, writer, method: str, action: str, body: bytes) -> None:
+        coordinator = getattr(self.service, "distributed", None)
+        if coordinator is None:
+            raise HTTPError(404, "this daemon is not a coordinator (serve --role coordinator)")
+        if action == "stats" and method == "GET":
+            await self._respond(writer, 200, coordinator.stats())
+            return
+        if method != "POST":
+            raise HTTPError(405, f"no route for {method} /distributed/{action}")
+        data = self._parse_json(body)
+        worker = data.get("worker")
+        if action != "result" and not isinstance(worker, str):
+            raise HTTPError(400, 'missing required field "worker"')
+        if action == "register":
+            await self._respond(writer, 200, coordinator.register_worker(worker))
+        elif action == "lease":
+            # Lease execution and result submission happen on worker
+            # machines; the coordinator-side calls here are registry and
+            # table bookkeeping, cheap enough for the event loop.
+            lease = coordinator.acquire(worker, resync=bool(data.get("resync")))
+            await self._respond(writer, 200, {"lease": lease})
+        elif action == "heartbeat":
+            ok = coordinator.heartbeat(worker, data.get("lease", ""))
+            await self._respond(writer, 200, {"ok": ok})
+        elif action == "result":
+            from repro.distributed.worker import submit_payload  # lazy: optional subsystem
+
+            if not isinstance(data.get("worker"), str) or not isinstance(data.get("lease"), str):
+                raise HTTPError(400, 'result body needs "worker" and "lease"')
+            try:
+                accepted = submit_payload(coordinator, data)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise HTTPError(400, f"malformed result body: {exc}") from exc
+            await self._respond(writer, 200, {"accepted": accepted})
+        else:
+            raise HTTPError(404, f"no route for POST /distributed/{action}")
 
     async def _stream_events(self, writer, fingerprint: str, query: str) -> None:
         job = self._find_job(fingerprint)
@@ -299,6 +456,8 @@ def serve(
     port: int = 0,
     profiles: Optional[dict[str, Profile]] = None,
     announce=print,
+    token: Optional[str] = None,
+    rate_limit: Optional[tuple[int, float]] = None,
 ) -> None:
     """Run the daemon until ``POST /shutdown`` (or KeyboardInterrupt).
 
@@ -309,7 +468,9 @@ def serve(
     """
 
     async def _amain() -> None:
-        server = ServiceHTTPServer(service, host, port, profiles)
+        server = ServiceHTTPServer(
+            service, host, port, profiles, token=token, rate_limit=rate_limit
+        )
         await server.start()
         announce(f"repro serve: listening on {server.address}")
         await server.serve_until_shutdown()
@@ -326,6 +487,8 @@ def serve_in_background(
     host: str = "127.0.0.1",
     port: int = 0,
     profiles: Optional[dict[str, Profile]] = None,
+    token: Optional[str] = None,
+    rate_limit: Optional[tuple[int, float]] = None,
 ):
     """Run the daemon on a background thread; yields the started server.
 
@@ -334,7 +497,7 @@ def serve_in_background(
     service itself is *not* closed -- its owner decides that.
     """
     loop = asyncio.new_event_loop()
-    server = ServiceHTTPServer(service, host, port, profiles)
+    server = ServiceHTTPServer(service, host, port, profiles, token=token, rate_limit=rate_limit)
     started = threading.Event()
     failures: list[BaseException] = []
 

@@ -92,7 +92,7 @@ _PROFILE_FP_EXCLUDE = frozenset(
 #: ``progress`` is a pure observer the service attaches to stream events).
 _TOOL_FP_EXCLUDE = frozenset(
     {"last_evaluations", "n_workers", "worker_mode", "verbose", "batch_starts",
-     "eval_profile", "native_threads", "progress"}
+     "eval_profile", "native_threads", "progress", "pool_factory"}
 )
 
 
@@ -277,6 +277,7 @@ def execute_job(
     request: JobRequest,
     budget: Budget,
     progress: Optional[Callable[[dict], None]] = None,
+    pool_factory: Optional[Callable] = None,
 ) -> ExecutedJob:
     """Execute one job and return its storable payload.
 
@@ -291,12 +292,22 @@ def execute_job(
     payload itself is never affected.
 
     ``progress`` (when given and the tool is CoverMe) is attached as the
-    engine's result-neutral batch observer.
+    engine's result-neutral batch observer; ``pool_factory`` (same
+    condition) is attached as the engine's start-pool seam -- this is how
+    a coordinator daemon swaps in its distributed
+    :class:`~repro.distributed.coordinator.LeasePool`.  Both are excluded
+    from fingerprints: they are result-neutral by the engine's contract.
     """
     program = instrument_for_lookup(request.case)
     tool = request.resolve_factory()(request.profile)
-    if progress is not None and isinstance(getattr(tool, "config", None), CoverMeConfig):
-        tool.config = dataclasses.replace(tool.config, progress=progress)
+    if isinstance(getattr(tool, "config", None), CoverMeConfig):
+        attach = {}
+        if progress is not None:
+            attach["progress"] = progress
+        if pool_factory is not None:
+            attach["pool_factory"] = pool_factory
+        if attach:
+            tool.config = dataclasses.replace(tool.config, **attach)
     captured: list[str] = []
     with _warnings.catch_warnings(record=True) as seen:
         _warnings.simplefilter("always")

@@ -15,6 +15,7 @@ service, so the same warm-cache argument applies to the worker processes.
 
 from __future__ import annotations
 
+import time
 import threading
 from typing import Callable
 
@@ -55,8 +56,19 @@ class WorkerPool:
                 return
             self._handler(job, worker_id)
 
-    def join(self, timeout: float = 30.0) -> None:
-        """Wait for all workers to retire (call after closing the queue)."""
-        deadline = timeout
+    def join(self, timeout: float = 30.0) -> list[str]:
+        """Wait up to ``timeout`` seconds *total* for all workers to retire.
+
+        The deadline is shared across the pool (it used to be granted per
+        thread, so N slow workers could stretch the wait to N x timeout),
+        and workers still alive at expiry are returned by name instead of
+        being silently abandoned -- the service surfaces them in its stats
+        so a shard wedged on a slow job is observable, not just slow.
+        """
+        deadline = time.monotonic() + timeout
+        unjoined: list[str] = []
         for thread in self._threads:
-            thread.join(deadline)
+            thread.join(max(0.0, deadline - time.monotonic()))
+            if thread.is_alive():
+                unjoined.append(thread.name)
+        return unjoined

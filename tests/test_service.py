@@ -459,3 +459,64 @@ class TestBitIdentityAcrossEntryPoints:
         finally:
             service.close()
         assert _normalized_records(daemon_store / "runs.jsonl") == baseline
+
+
+class TestWorkerPoolJoin:
+    """``WorkerPool.join`` must honour one shared deadline and *report*
+    stuck workers instead of silently abandoning them (satellite fix: the
+    old per-thread timeout multiplied and the result was discarded)."""
+
+    def _pool(self, handler, n_workers=3):
+        from repro.service.workers import WorkerPool
+
+        queue = AdmissionQueue(n_shards=n_workers)
+        pool = WorkerPool(queue, handler, n_workers=n_workers, n_shards=n_workers)
+        return queue, pool
+
+    def test_join_reports_stuck_workers_under_shared_deadline(self):
+        import time as _time
+
+        release = threading.Event()
+        queue, pool = self._pool(lambda job, worker_id: release.wait(10.0))
+        for shard in range(3):
+            queue.put(object(), shard)
+        deadline = _time.monotonic() + 5.0
+        while sum(queue.depths()) and _time.monotonic() < deadline:
+            _time.sleep(0.01)  # wait for every worker to pick up its job
+        queue.close()
+        started = _time.monotonic()
+        unjoined = pool.join(timeout=0.3)
+        elapsed = _time.monotonic() - started
+        try:
+            assert sorted(unjoined) == [
+                "repro-service-worker-0",
+                "repro-service-worker-1",
+                "repro-service-worker-2",
+            ]
+            # Shared deadline: three stuck threads cost ~0.3 s total, not 3x.
+            assert elapsed < 1.0
+        finally:
+            release.set()
+        assert pool.join(timeout=5.0) == []
+
+    def test_join_clean_shutdown_returns_empty(self):
+        import time as _time
+
+        handled = []
+        queue, pool = self._pool(lambda job, worker_id: handled.append(job))
+        for shard in range(3):
+            queue.put(shard, shard)
+        deadline = _time.monotonic() + 5.0
+        while len(handled) < 3 and _time.monotonic() < deadline:
+            _time.sleep(0.01)
+        queue.close()
+        assert pool.join(timeout=5.0) == []
+        assert sorted(handled) == [0, 1, 2]
+
+    def test_service_stats_surface_unjoined_workers(self, tmp_path):
+        service = CoverageService(store=tmp_path / "store", worker_mode="thread", n_workers=2)
+        try:
+            assert service.stats()["unjoined_workers"] == []
+        finally:
+            service.close()
+        assert service.stats()["unjoined_workers"] == []
